@@ -1,0 +1,234 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the reproduction (E1..E14) by
+   running the experiment registry — these are the rows/series the paper
+   reports. Part 2 runs one Bechamel micro-benchmark per experiment,
+   measuring the computational kernel that dominates it, plus the substrate
+   kernels (conjunctive queries, chase, grounding, ADMM). *)
+
+open Bechamel
+open Toolkit
+
+(* --- fixtures shared by the micro-benchmarks --------------------------- *)
+
+let scenario ~seed ~pi_corresp ~pi_errors ~pi_unexplained =
+  Ibench.Generator.generate
+    (Experiments.Common.noise_config ~seed ~pi_corresp ~pi_errors
+       ~pi_unexplained ())
+
+let problem_of = Experiments.Common.problem_of_scenario
+
+let e1_problem =
+  lazy
+    (let s = scenario ~seed:1 ~pi_corresp:0 ~pi_errors:0 ~pi_unexplained:0 in
+     problem_of s)
+
+let noisy_problem =
+  lazy
+    (let s = scenario ~seed:2 ~pi_corresp:25 ~pi_errors:25 ~pi_unexplained:10 in
+     problem_of s)
+
+let small_problem =
+  lazy
+    (let config =
+       Experiments.Common.noise_config
+         ~primitives:Ibench.Primitive.[ (CP, 1); (ME, 1); (VP, 1) ]
+         ~seed:3 ~pi_corresp:50 ~pi_errors:25 ~pi_unexplained:25 ()
+     in
+     problem_of (Ibench.Generator.generate config))
+
+let big_model =
+  lazy
+    (let config =
+       Experiments.Common.noise_config
+         ~primitives:(List.map (fun k -> (k, 2)) Ibench.Primitive.all)
+         ~seed:4 ~pi_corresp:25 ~pi_errors:10 ~pi_unexplained:10 ()
+     in
+     let p = problem_of (Ibench.Generator.generate config) in
+     Core.Cmd.build_model (Core.Preprocess.run p).Core.Preprocess.problem)
+
+let me_scenario =
+  lazy
+    (Ibench.Generator.generate
+       (Experiments.Common.noise_config
+          ~primitives:[ (Ibench.Primitive.ME, 2) ]
+          ~seed:5 ~pi_corresp:25 ~pi_errors:25 ~pi_unexplained:25 ()))
+
+let setcover_instance =
+  {
+    Core.Setcover.universe = [ "a"; "b"; "c"; "d"; "e" ];
+    sets =
+      [ ("S1", [ "a"; "b" ]); ("S2", [ "b"; "c"; "d" ]); ("S3", [ "d"; "e" ]);
+        ("S4", [ "a"; "e" ]) ];
+    budget = 2;
+  }
+
+let full_selection p = Array.make (Core.Problem.num_candidates p) true
+
+let full_problem_fixture =
+  lazy
+    (let config =
+       Experiments.Common.noise_config
+         ~primitives:Ibench.Primitive.[ (CP, 4); (DL, 4) ]
+         ~seed:6 ~pi_corresp:25 ~pi_errors:10 ~pi_unexplained:10 ()
+     in
+     problem_of (Ibench.Generator.generate config))
+
+(* a 2-atom join over the HR-style source, evaluated plain vs indexed *)
+let cq_query =
+  let v x = Logic.Term.Var x in
+  [
+    Logic.Atom.make "me1_s1" [ v "A0"; v "A1"; v "A2"; v "A3"; v "F" ];
+    Logic.Atom.make "me1_s2" [ v "F"; v "B0"; v "B1"; v "B2"; v "B3" ];
+  ]
+
+let cq_fixture =
+  lazy
+    (let s = Lazy.force me_scenario in
+     (s.Ibench.Scenario.instance_i, cq_query))
+
+let cq_indexed_fixture =
+  lazy
+    (let inst, q = Lazy.force cq_fixture in
+     (Logic.Cq.Index.build inst, q))
+
+let egd_fixture =
+  lazy
+    (let entry = Option.get (Scenarios.Zoo.find "hr") in
+     let doc = entry.Scenarios.Zoo.doc in
+     let exchanged =
+       Chase.universal_solution doc.Serialize.Document.instance_i
+         entry.Scenarios.Zoo.ground_truth
+     in
+     let unit_schema =
+       Relational.Schema.of_relations
+         [ Relational.Relation.make "unit" [ "uid"; "uname" ] ]
+     in
+     (exchanged, Chase.Egd.key ~rel:"unit" ~key:[ "uname" ] unit_schema))
+
+(* --- the test suite ----------------------------------------------------- *)
+
+let stage = Staged.stage
+
+let tests =
+  Test.make_grouped ~name:"repro"
+    [
+      (* per-experiment kernels *)
+      Test.make ~name:"e1-objective-eval"
+        (stage (fun () ->
+             let p = Lazy.force e1_problem in
+             Core.Objective.value p (full_selection p)));
+      Test.make ~name:"e2-scenario-generation"
+        (stage (fun () -> Ibench.Generator.generate Ibench.Config.default));
+      Test.make ~name:"e3-cmd-solve-noisy"
+        (stage (fun () -> Core.Cmd.solve (Lazy.force noisy_problem)));
+      Test.make ~name:"e4-greedy-solve-noisy"
+        (stage (fun () -> Core.Greedy.solve (Lazy.force noisy_problem)));
+      Test.make ~name:"e5-candidate-generation"
+        (stage (fun () ->
+             let s = Lazy.force me_scenario in
+             Candgen.Generate.generate ~source:s.Ibench.Scenario.source
+               ~target:s.Ibench.Scenario.target
+               ~src_fkeys:s.Ibench.Scenario.src_fkeys
+               ~tgt_fkeys:s.Ibench.Scenario.tgt_fkeys
+               ~corrs:s.Ibench.Scenario.correspondences));
+      Test.make ~name:"e6-admm-big-model"
+        (stage (fun () -> Psl.Admm.solve (Lazy.force big_model)));
+      Test.make ~name:"e7-cover-analysis-me"
+        (stage (fun () ->
+             let s = Lazy.force me_scenario in
+             Cover.analyze ~source:s.Ibench.Scenario.instance_i
+               ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates));
+      Test.make ~name:"e8-exact-branch-and-bound"
+        (stage (fun () -> Core.Exact.solve (Lazy.force small_problem)));
+      Test.make ~name:"e9-setcover-decide"
+        (stage (fun () -> Core.Setcover.decide setcover_instance));
+      Test.make ~name:"e10-cmd-squared"
+        (stage (fun () ->
+             Core.Cmd.solve
+               ~options:{ Core.Cmd.default_options with Core.Cmd.squared = true }
+               (Lazy.force noisy_problem)));
+      Test.make ~name:"e13-full-fastpath-greedy"
+        (stage (fun () ->
+             match Core.Full.of_problem (Lazy.force full_problem_fixture) with
+             | Ok full -> ignore (Core.Full.greedy full)
+             | Error msg -> failwith msg));
+      Test.make ~name:"e14-weight-scoring"
+        (stage (fun () ->
+             let p = Lazy.force small_problem in
+             let gold = Array.make (Core.Problem.num_candidates p) false in
+             Core.Tune.score p ~gold
+               { Core.Problem.w_unexplained = 2; w_errors = 1; w_size = 1 }));
+      (* substrate kernels *)
+      Test.make ~name:"substrate-chase"
+        (stage (fun () ->
+             let s = Lazy.force me_scenario in
+             Chase.run s.Ibench.Scenario.instance_i s.Ibench.Scenario.ground_truth));
+      Test.make ~name:"substrate-cq-plain"
+        (stage (fun () ->
+             let inst, q = Lazy.force cq_fixture in
+             Logic.Cq.answers inst q));
+      Test.make ~name:"substrate-cq-indexed"
+        (stage (fun () ->
+             let index, q = Lazy.force cq_indexed_fixture in
+             Logic.Cq.answers_indexed index q));
+      Test.make ~name:"substrate-psl-grounding"
+        (stage (fun () ->
+             let p = Lazy.force noisy_problem in
+             Core.Cmd.build_model (Core.Preprocess.run p).Core.Preprocess.problem));
+      Test.make ~name:"substrate-local-search"
+        (stage (fun () ->
+             let p = Lazy.force small_problem in
+             Core.Local_search.improve p (full_selection p)));
+      Test.make ~name:"substrate-egd-chase"
+        (stage (fun () ->
+             let inst, egds = Lazy.force egd_fixture in
+             Chase.Egd.chase inst egds));
+      Test.make ~name:"substrate-implication"
+        (stage (fun () ->
+             let s = Lazy.force me_scenario in
+             Chase.Implication.minimize s.Ibench.Scenario.candidates));
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pp_time ppf ns =
+  if ns >= 1e9 then Format.fprintf ppf "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Format.fprintf ppf "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Format.fprintf ppf "%8.2f us" (ns /. 1e3)
+  else Format.fprintf ppf "%8.2f ns" ns
+
+let () =
+  Format.printf "=====================================================@.";
+  Format.printf " Reproduction: every table and figure (E1..E14)@.";
+  Format.printf "=====================================================@.@.";
+  Experiments.Registry.run_all Format.std_formatter;
+  Format.printf "=====================================================@.";
+  Format.printf " Micro-benchmarks (Bechamel, monotonic clock, OLS)@.";
+  Format.printf "=====================================================@.";
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, est) -> Format.printf "%-35s %a / run@." name pp_time est)
+    rows

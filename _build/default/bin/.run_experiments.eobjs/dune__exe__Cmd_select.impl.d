@@ -1,0 +1,1 @@
+bin/cmd_select.ml: Arg Array Candgen Cmd Cmdliner Core Format Ibench List Logic Metrics Printf Scenarios Serialize String Term

@@ -1,0 +1,1 @@
+bin/cmd_select.mli:

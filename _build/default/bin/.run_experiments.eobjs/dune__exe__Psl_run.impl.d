@@ -1,0 +1,1 @@
+bin/psl_run.ml: Arg Array Cmd Cmdliner Format List Psl Term

@@ -1,0 +1,1 @@
+bin/psl_run.mli:

@@ -1,0 +1,1 @@
+bin/scenario_gen.ml: Arg Cmd Cmdliner Format Ibench List Printf Serialize String Term

@@ -1,0 +1,1 @@
+bin/scenario_gen.mli:

@@ -1,0 +1,155 @@
+(* The mapping-selection CLI: load a scenario document (or generate one with
+   iBench) and run a selection solver on it. *)
+
+open Cmdliner
+
+type solver_choice =
+  | Cmd
+  | Greedy
+  | Local
+  | Exact
+  | All
+
+let solver_conv =
+  let parse = function
+    | "cmd" -> Ok Cmd
+    | "greedy" -> Ok Greedy
+    | "local" -> Ok Local
+    | "exact" -> Ok Exact
+    | "all" -> Ok All
+    | s -> Error (`Msg (Printf.sprintf "unknown solver %s" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Cmd -> "cmd"
+      | Greedy -> "greedy"
+      | Local -> "local"
+      | Exact -> "exact"
+      | All -> "all")
+  in
+  Arg.conv (parse, print)
+
+let run_problem ~solver ~weights ~candidates ~source ~j ~truth =
+  let problem = Core.Problem.make ~weights ~source ~j candidates in
+  let selection, fractional =
+    match solver with
+    | Cmd ->
+      let r = Core.Cmd.solve problem in
+      (r.Core.Cmd.selection, Some r.Core.Cmd.fractional)
+    | Greedy -> (Core.Greedy.solve problem, None)
+    | Local -> (Core.Local_search.solve ~restarts:3 problem, None)
+    | Exact -> (Core.Exact.solve problem, None)
+    | All -> (Array.make (Core.Problem.num_candidates problem) true, None)
+  in
+  Format.printf "candidates (%d):@." (List.length candidates);
+  List.iteri
+    (fun i tgd ->
+      let frac =
+        match fractional with
+        | Some f -> Printf.sprintf " in=%.3f" f.(i)
+        | None -> ""
+      in
+      Format.printf "  [%s]%s %a@."
+        (if selection.(i) then "x" else " ")
+        frac Logic.Tgd.pp tgd)
+    candidates;
+  let b = Core.Objective.breakdown problem selection in
+  Format.printf "objective: %a@." Core.Objective.pp_breakdown b;
+  Format.printf "tuple-level: %a@." Metrics.pp (Metrics.tuple_level problem selection);
+  match truth with
+  | [] -> ()
+  | _ :: _ ->
+    Format.printf "mapping-level vs ground truth: %a@." Metrics.pp
+      (Metrics.mapping_level ~candidates ~truth selection)
+
+let run file scenario seed solver pi_corresp pi_errors pi_unexplained rows w1 w2 w3 =
+  let weights = { Core.Problem.w_unexplained = w1; w_errors = w2; w_size = w3 } in
+  match scenario, file with
+  | Some name, _ -> (
+    match Scenarios.Zoo.find name with
+    | None ->
+      Printf.eprintf "unknown scenario %s; known: %s\n" name
+        (String.concat ", " (Scenarios.Zoo.names ()));
+      exit 2
+    | Some entry ->
+      Format.printf "scenario %s: %s@." entry.Scenarios.Zoo.name
+        entry.Scenarios.Zoo.description;
+      let doc = entry.Scenarios.Zoo.doc in
+      run_problem ~solver ~weights ~candidates:doc.Serialize.Document.tgds
+        ~source:doc.Serialize.Document.instance_i
+        ~j:doc.Serialize.Document.instance_j
+        ~truth:entry.Scenarios.Zoo.ground_truth)
+  | None, Some path -> (
+    match Serialize.Parser.parse_file path with
+    | Error e ->
+      Format.eprintf "%s: %a@." path Serialize.Parser.pp_error e;
+      exit 1
+    | Ok doc ->
+      let candidates =
+        match doc.Serialize.Document.tgds with
+        | [] ->
+          (* no explicit candidates: generate them Clio-style from the
+             document's correspondences *)
+          Candgen.Generate.generate ~source:doc.Serialize.Document.source
+            ~target:doc.Serialize.Document.target
+            ~src_fkeys:doc.Serialize.Document.src_fkeys
+            ~tgt_fkeys:doc.Serialize.Document.tgt_fkeys
+            ~corrs:doc.Serialize.Document.correspondences
+        | tgds -> tgds
+      in
+      run_problem ~solver ~weights ~candidates
+        ~source:doc.Serialize.Document.instance_i
+        ~j:doc.Serialize.Document.instance_j ~truth:[])
+  | None, None ->
+    let config =
+      {
+        Ibench.Config.default with
+        Ibench.Config.seed;
+        rows_per_relation = rows;
+        pi_corresp;
+        pi_errors;
+        pi_unexplained;
+      }
+    in
+    let s = Ibench.Generator.generate config in
+    Format.printf "%a@." Ibench.Scenario.pp_summary s;
+    run_problem ~solver ~weights ~candidates:s.Ibench.Scenario.candidates
+      ~source:s.Ibench.Scenario.instance_i ~j:s.Ibench.Scenario.instance_j
+      ~truth:s.Ibench.Scenario.ground_truth
+
+let file =
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:"Scenario document to load; a scenario is generated when omitted.")
+
+let scenario =
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+         ~doc:"A named scenario from the zoo (appendix, bibliography, hr, flights).")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+
+let solver =
+  Arg.(value & opt solver_conv Cmd & info [ "s"; "solver" ]
+         ~doc:"Solver: cmd, greedy, local, exact or all.")
+
+let pi name doc = Arg.(value & opt int 0 & info [ name ] ~doc)
+
+let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Source rows per relation.")
+
+let weight name default doc = Arg.(value & opt int default & info [ name ] ~doc)
+
+let cmd =
+  let doc = "Collective, probabilistic mapping selection" in
+  Cmd.v
+    (Cmd.info "cmd_select" ~doc)
+    Term.(
+      const run $ file $ scenario $ seed $ solver
+      $ pi "pi-corresp" "Percent of target relations with random correspondences."
+      $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
+      $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."
+      $ rows
+      $ weight "w1" 1 "Weight of unexplained tuples."
+      $ weight "w2" 1 "Weight of error tuples."
+      $ weight "w3" 1 "Weight of mapping size.")
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,67 @@
+(* Run a PSL program from a file: ground, MAP-infer, print the open atoms;
+   optionally learn rule weights from the open-predicate observations
+   first. *)
+
+open Cmdliner
+
+let run path learn iterations rate =
+  match Psl.Program.parse_file path with
+  | Error e ->
+    Format.eprintf "%s: %a@." path Psl.Program.pp_error e;
+    exit 1
+  | Ok program ->
+    let db = Psl.Program.database program in
+    let rules =
+      if learn then begin
+        let options =
+          { Psl.Learn.default_options with Psl.Learn.iterations; rate }
+        in
+        let learned = Psl.Learn.learn ~options db program.Psl.Program.rules in
+        Format.printf "learned weights:@.";
+        List.iter
+          (fun (r : Psl.Rule.t) ->
+            match r.Psl.Rule.weight with
+            | Some w -> Format.printf "  %-12s %.4f@." r.Psl.Rule.label w
+            | None -> Format.printf "  %-12s hard@." r.Psl.Rule.label)
+          learned;
+        learned
+      end
+      else program.Psl.Program.rules
+    in
+    (match Psl.Grounding.ground db rules with
+    | exception Psl.Grounding.Unsatisfiable_hard_rule label ->
+      Format.eprintf "hard rule %s is unsatisfiable@." label;
+      exit 1
+    | g ->
+      let r = Psl.Grounding.map_inference g in
+      Format.printf
+        "ground model: %d atoms, %d groundings; ADMM %d iterations \
+         (converged %b), energy %.4f@.@."
+        (Array.length g.Psl.Grounding.atoms)
+        g.Psl.Grounding.groundings r.Psl.Admm.iterations r.Psl.Admm.converged
+        (r.Psl.Admm.energy +. g.Psl.Grounding.constant_energy);
+      Array.iteri
+        (fun i atom ->
+          Format.printf "%-40s %.3f@."
+            (Psl.Gatom.to_string atom)
+            r.Psl.Admm.solution.(i))
+        g.Psl.Grounding.atoms)
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM"
+         ~doc:"The PSL program file.")
+
+let learn =
+  Arg.(value & flag & info [ "l"; "learn" ]
+         ~doc:"Learn rule weights from the open-predicate observations first.")
+
+let iterations =
+  Arg.(value & opt int 25 & info [ "iterations" ] ~doc:"Learning iterations.")
+
+let rate = Arg.(value & opt float 0.5 & info [ "rate" ] ~doc:"Learning rate.")
+
+let cmd =
+  let doc = "MAP inference (and weight learning) for PSL programs" in
+  Cmd.v (Cmd.info "psl_run" ~doc) Term.(const run $ path $ learn $ iterations $ rate)
+
+let () = exit (Cmd.eval cmd)

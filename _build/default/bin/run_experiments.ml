@@ -1,0 +1,59 @@
+(* CLI for the experiment suite: run all tables/figures or a selection by
+   id, in plain text, markdown or CSV. *)
+
+open Cmdliner
+
+type format =
+  | Text
+  | Markdown
+  | Csv
+
+let render format table =
+  match format with
+  | Text -> Experiments.Table.to_string table
+  | Markdown -> Experiments.Table.to_markdown table
+  | Csv -> Experiments.Table.to_csv table
+
+let run_ids format ids =
+  let to_run =
+    match ids with
+    | [] -> List.map (fun (id, _, run) -> (id, run)) Experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some run -> (String.uppercase_ascii id, run)
+          | None ->
+            Printf.eprintf "unknown experiment %s; known:\n" id;
+            List.iter
+              (fun (id, desc, _) -> Printf.eprintf "  %-4s %s\n" id desc)
+              Experiments.Registry.all;
+            exit 2)
+        ids
+  in
+  List.iter (fun (_, run) -> print_endline (render format (run ()))) to_run
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID"
+         ~doc:"Experiment ids (E1..E13); all when omitted.")
+
+let fmt_conv =
+  Arg.conv
+    ( (function
+        | "text" -> Ok Text
+        | "md" | "markdown" -> Ok Markdown
+        | "csv" -> Ok Csv
+        | s -> Error (`Msg (Printf.sprintf "unknown format %s" s))),
+      fun ppf f ->
+        Format.pp_print_string ppf
+          (match f with Text -> "text" | Markdown -> "md" | Csv -> "csv") )
+
+let format =
+  Arg.(value & opt fmt_conv Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Output format: text, md or csv.")
+
+let cmd =
+  let doc = "Run the reproduction's experiment suite" in
+  Cmd.v (Cmd.info "run_experiments" ~doc) Term.(const run_ids $ format $ ids)
+
+let () = exit (Cmd.eval cmd)

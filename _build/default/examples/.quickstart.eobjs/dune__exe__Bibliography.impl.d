@@ -1,0 +1,1 @@
+examples/bibliography.ml: Array Candgen Chase Core Format Instance List Logic Relation Relational Schema Tuple

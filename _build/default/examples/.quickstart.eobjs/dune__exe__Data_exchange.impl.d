@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Array Atom Chase Core Format Instance List Logic Option Relation Relational Scenarios Schema Serialize Term Tgd Tuple

@@ -1,0 +1,1 @@
+examples/ibench_noise.ml: Array Core Format Ibench List Logic Metrics String Util

@@ -1,0 +1,1 @@
+examples/ibench_noise.mli:

@@ -1,0 +1,1 @@
+examples/psl_demo.ml: Admm Array Database Format Gatom Grounding List Predicate Psl Rule

@@ -1,0 +1,1 @@
+examples/psl_demo.mli:

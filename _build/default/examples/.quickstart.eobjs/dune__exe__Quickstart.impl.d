@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Atom Chase Core Cover Format Instance List Logic Printf Relation Relational Schema Term Tgd Tuple Util

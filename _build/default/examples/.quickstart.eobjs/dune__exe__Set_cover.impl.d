@@ -1,0 +1,1 @@
+examples/set_cover.ml: Array Core Exact Format List Logic Objective Problem Setcover String Util

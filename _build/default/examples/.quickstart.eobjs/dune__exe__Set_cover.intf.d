@@ -1,0 +1,1 @@
+examples/set_cover.mli:

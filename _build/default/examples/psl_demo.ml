@@ -1,0 +1,57 @@
+(* The probabilistic-soft-logic engine on its own: the classic smokers
+   example.
+
+   Rules:
+     2.0 : friend(X,Y) & smokes(X) -> smokes(Y)
+     0.5 : smokes(X) & friend(X,_) ->          (negative prior on smokers with friends)
+     hard: -> smokes(anna)                     (observed fact)
+
+   MAP inference on the ground hinge-loss MRF propagates smoking through the
+   friendship graph with decaying confidence.
+
+   Run with: dune exec examples/psl_demo.exe *)
+
+open Psl
+
+let people = [ "anna"; "bob"; "carol"; "dave"; "eve" ]
+
+let friendships =
+  [ ("anna", "bob"); ("bob", "carol"); ("carol", "dave"); ("dave", "eve") ]
+
+let () =
+  let db =
+    Database.create
+      [ Predicate.make ~closed:true "friend" 2; Predicate.make "smokes" 1 ]
+    |> Database.observe_all
+         (List.map (fun (a, b) -> (Gatom.make "friend" [ a; b ], 1.0)) friendships)
+  in
+  let rules =
+    [
+      Rule.make ~label:"influence" ~weight:(Some 2.0)
+        ~body:
+          [ Rule.pos "friend" [ Rule.V "X"; Rule.V "Y" ];
+            Rule.pos "smokes" [ Rule.V "X" ] ]
+        ~head:[ Rule.pos "smokes" [ Rule.V "Y" ] ]
+        ();
+      Rule.make ~label:"prior" ~weight:(Some 0.5)
+        ~body:[ Rule.pos "smokes" [ Rule.V "X" ];
+                Rule.pos "friend" [ Rule.V "X"; Rule.V "Y" ] ]
+        ~head:[] ();
+      Rule.make ~label:"anna-smokes" ~weight:None ~body:[]
+        ~head:[ Rule.pos "smokes" [ Rule.C "anna" ] ]
+        ();
+    ]
+  in
+  List.iter (fun r -> Format.printf "%a@." Rule.pp r) rules;
+  let g = Grounding.ground db rules in
+  Format.printf "@.ground model: %d open atoms, %d groundings@.@."
+    (Array.length g.Grounding.atoms) g.Grounding.groundings;
+  let r = Grounding.map_inference g in
+  Format.printf "ADMM: %d iterations, converged %b, energy %.4f@.@."
+    r.Admm.iterations r.Admm.converged r.Admm.energy;
+  List.iter
+    (fun p ->
+      match Grounding.truth_in g r.Admm.solution (Gatom.make "smokes" [ p ]) with
+      | Some v -> Format.printf "smokes(%s) = %.3f@." p v
+      | None -> Format.printf "smokes(%s) not in the ground model@." p)
+    people

@@ -1,0 +1,50 @@
+(* The NP-hardness reduction in action (Theorem 1 of the appendix).
+
+   We take a SET COVER instance, build the corresponding mapping-selection
+   problem, and watch exact mapping selection solve set cover: the optimal
+   selection's objective is at most m = 2n exactly when a cover with at most
+   n sets exists.
+
+   Run with: dune exec examples/set_cover.exe *)
+
+open Core
+
+let instance =
+  {
+    Setcover.universe = [ "a"; "b"; "c"; "d"; "e"; "f" ];
+    sets =
+      [
+        ("S1", [ "a"; "b"; "c" ]);
+        ("S2", [ "c"; "d" ]);
+        ("S3", [ "d"; "e"; "f" ]);
+        ("S4", [ "a"; "f" ]);
+        ("S5", [ "b"; "e" ]);
+      ];
+    budget = 2;
+  }
+
+let () =
+  Format.printf "SET COVER: U = {a..f}, 5 sets, budget n = %d@.@." instance.Setcover.budget;
+  let red = Setcover.reduce instance in
+  let p = red.Setcover.problem in
+  Format.printf "constructed selection problem: %d candidates, |J| = %d, m = %d@."
+    (Problem.num_candidates p) (Problem.num_tuples p) red.Setcover.m;
+  List.iter
+    (fun tgd -> Format.printf "  %a@." Logic.Tgd.pp tgd)
+    (Array.to_list p.Problem.candidates);
+
+  let best = Exact.solve p in
+  let f = Objective.value p best in
+  let cover = Setcover.cover_of_selection red best in
+  Format.printf "@.optimal selection: {%s} with F = %a@."
+    (String.concat ", " cover) Util.Frac.pp f;
+  Format.printf "closed form of the proof: (m+1)(|U| - |covered|) + 2|M| = %a@."
+    Util.Frac.pp (Setcover.closed_form instance ~selected:cover);
+  Format.printf "F <= m? %b — so a cover with at most %d sets %s@."
+    Util.Frac.(f <= Util.Frac.of_int red.Setcover.m)
+    instance.Setcover.budget
+    (if Setcover.decide instance then "exists" else "does not exist");
+
+  (* and indeed {S1, S3} covers everything *)
+  Format.printf "@.with budget 1 instead: cover exists? %b@."
+    (Setcover.decide { instance with Setcover.budget = 1 })

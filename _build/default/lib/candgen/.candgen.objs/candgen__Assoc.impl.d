@@ -1,0 +1,1 @@
+lib/candgen/assoc.ml: Array Atom Fkey Format Hashtbl List Logic Printf Queue Relation Relational Schema String Term

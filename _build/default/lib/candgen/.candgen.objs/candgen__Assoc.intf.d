@@ -1,0 +1,1 @@
+lib/candgen/assoc.mli: Fkey Format Logic Relational

@@ -1,0 +1,1 @@
+lib/candgen/correspondence.ml: Format Printf Relation Relational Schema Stdlib

@@ -1,0 +1,1 @@
+lib/candgen/correspondence.mli: Format Relational

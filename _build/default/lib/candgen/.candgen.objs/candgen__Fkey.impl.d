@@ -1,0 +1,1 @@
+lib/candgen/fkey.ml: Format List Printf Relation Relational Schema Stdlib String

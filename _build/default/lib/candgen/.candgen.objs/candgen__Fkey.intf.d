@@ -1,0 +1,1 @@
+lib/candgen/fkey.mli: Format Relational

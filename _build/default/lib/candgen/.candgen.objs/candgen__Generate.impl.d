@@ -1,0 +1,1 @@
+lib/candgen/generate.ml: Array Assoc Atom Correspondence Hashtbl List Logic Printf Relation Relational Schema String Term Tgd

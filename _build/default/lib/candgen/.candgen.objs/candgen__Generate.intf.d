@@ -1,0 +1,1 @@
+lib/candgen/generate.mli: Correspondence Fkey Logic Relational

@@ -1,0 +1,1 @@
+lib/candgen/matcher.ml: Array Correspondence Float Fun Hashtbl Instance List Relation Relational Schema Stdlib String Value

@@ -1,0 +1,1 @@
+lib/candgen/matcher.mli: Correspondence Relational

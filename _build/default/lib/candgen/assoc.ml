@@ -1,0 +1,93 @@
+open Relational
+open Logic
+
+type t = {
+  anchor : string;
+  relations : string list;
+  atoms : Atom.t list;
+  vars : ((string * string) * string) list;
+}
+
+(* Union-find over (rel, attr) pairs, used to unify join variables along
+   foreign keys. *)
+module Uf = struct
+  type t = (string * string, string * string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let rec find uf x =
+    match Hashtbl.find_opt uf x with
+    | None -> x
+    | Some p ->
+      let root = find uf p in
+      if root <> p then Hashtbl.replace uf x root;
+      root
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then Hashtbl.replace uf rb ra
+end
+
+let canonical_var (rel, attr) = Printf.sprintf "%s_%s" rel attr
+
+let of_relation ~schema ~fkeys anchor =
+  ignore (Schema.find schema anchor);
+  (* BFS over outgoing foreign keys, visiting each relation once. *)
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let uf = Uf.create () in
+  let queue = Queue.create () in
+  Queue.add anchor queue;
+  Hashtbl.add visited anchor ();
+  while not (Queue.is_empty queue) do
+    let rel = Queue.pop queue in
+    order := rel :: !order;
+    List.iter
+      (fun (fk : Fkey.t) ->
+        if Schema.mem schema fk.Fkey.to_rel then begin
+          Uf.union uf (fk.Fkey.from_rel, fk.Fkey.from_attr)
+            (fk.Fkey.to_rel, fk.Fkey.to_attr);
+          if not (Hashtbl.mem visited fk.Fkey.to_rel) then begin
+            Hashtbl.add visited fk.Fkey.to_rel ();
+            Queue.add fk.Fkey.to_rel queue
+          end
+        end)
+      (Fkey.outgoing fkeys rel)
+  done;
+  let relations = List.rev !order in
+  let positions =
+    List.concat_map
+      (fun rel ->
+        let r = Schema.find schema rel in
+        Array.to_list r.Relation.attrs |> List.map (fun attr -> (rel, attr)))
+      relations
+  in
+  let vars =
+    List.map (fun pos -> (pos, canonical_var (Uf.find uf pos))) positions
+  in
+  let atoms =
+    List.map
+      (fun rel ->
+        let r = Schema.find schema rel in
+        let args =
+          Array.to_list r.Relation.attrs
+          |> List.map (fun attr -> Term.Var (List.assoc (rel, attr) vars))
+        in
+        Atom.make rel args)
+      relations
+  in
+  { anchor; relations; atoms; vars }
+
+let all ~schema ~fkeys =
+  List.map (fun r -> of_relation ~schema ~fkeys r.Relation.name) (Schema.relations schema)
+
+let var_of t rel attr = List.assoc_opt (rel, attr) t.vars
+
+let mem t rel = List.exists (String.equal rel) t.relations
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a" t.anchor
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+       Atom.pp)
+    t.atoms

@@ -1,0 +1,31 @@
+(** Logical associations — Clio's "logical relations".
+
+    The association of a relation [R] is the join of [R] with every relation
+    reachable from it by following foreign keys transitively, with join
+    variables unified along each foreign key. Candidate st tgds are generated
+    between pairs of source and target associations. *)
+
+type t = {
+  anchor : string;  (** the relation the association is rooted at *)
+  relations : string list;  (** all relations in the closure, BFS order *)
+  atoms : Logic.Atom.t list;  (** one atom per relation, sharing join variables *)
+  vars : ((string * string) * string) list;
+      (** (relation, attribute) → variable name, for every position *)
+}
+
+val of_relation :
+  schema : Relational.Schema.t -> fkeys : Fkey.t list -> string -> t
+(** Raises [Not_found] if the relation is not in the schema. Cyclic foreign
+    keys are handled by visiting every relation at most once. *)
+
+val all : schema : Relational.Schema.t -> fkeys : Fkey.t list -> t list
+(** One association per relation of the schema, in name order. *)
+
+val var_of : t -> string -> string -> string option
+(** [var_of assoc rel attr] is the variable used for [rel.attr], if [rel]
+    belongs to the association. *)
+
+val mem : t -> string -> bool
+(** Does the relation belong to the association? *)
+
+val pp : Format.formatter -> t -> unit

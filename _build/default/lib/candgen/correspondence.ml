@@ -1,0 +1,30 @@
+open Relational
+
+type t = {
+  src_rel : string;
+  src_attr : string;
+  tgt_rel : string;
+  tgt_attr : string;
+}
+
+let make ~src:(src_rel, src_attr) ~tgt:(tgt_rel, tgt_attr) =
+  { src_rel; src_attr; tgt_rel; tgt_attr }
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let validate ~source ~target t =
+  let check schema rel attr side =
+    match Schema.find_opt schema rel with
+    | None -> Error (Printf.sprintf "unknown %s relation %s" side rel)
+    | Some r ->
+      if Relation.has_attr r attr then Ok ()
+      else Error (Printf.sprintf "unknown attribute %s.%s (%s)" rel attr side)
+  in
+  match check source t.src_rel t.src_attr "source" with
+  | Error _ as e -> e
+  | Ok () -> check target t.tgt_rel t.tgt_attr "target"
+
+let pp ppf t =
+  Format.fprintf ppf "%s.%s ~> %s.%s" t.src_rel t.src_attr t.tgt_rel t.tgt_attr

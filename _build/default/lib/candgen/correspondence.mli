@@ -1,0 +1,29 @@
+(** Attribute correspondences — the metadata evidence.
+
+    A correspondence states that a source attribute matches a target
+    attribute (the kind of evidence produced by a schema matcher and consumed
+    by Clio). *)
+
+type t = {
+  src_rel : string;
+  src_attr : string;
+  tgt_rel : string;
+  tgt_attr : string;
+}
+
+val make :
+  src : string * string -> tgt : string * string -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val validate :
+  source : Relational.Schema.t ->
+  target : Relational.Schema.t ->
+  t ->
+  (unit, string) result
+(** Checks that both endpoints exist in their schemas. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [src.attr ~> tgt.attr]. *)

@@ -1,0 +1,32 @@
+open Relational
+
+type t = {
+  from_rel : string;
+  from_attr : string;
+  to_rel : string;
+  to_attr : string;
+}
+
+let make ~from:(from_rel, from_attr) ~to_:(to_rel, to_attr) =
+  { from_rel; from_attr; to_rel; to_attr }
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let validate schema t =
+  let check rel attr =
+    match Schema.find_opt schema rel with
+    | None -> Error (Printf.sprintf "unknown relation %s" rel)
+    | Some r ->
+      if Relation.has_attr r attr then Ok ()
+      else Error (Printf.sprintf "unknown attribute %s.%s" rel attr)
+  in
+  match check t.from_rel t.from_attr with
+  | Error _ as e -> e
+  | Ok () -> check t.to_rel t.to_attr
+
+let outgoing fkeys rel = List.filter (fun t -> String.equal t.from_rel rel) fkeys
+
+let pp ppf t =
+  Format.fprintf ppf "%s.%s -> %s.%s" t.from_rel t.from_attr t.to_rel t.to_attr

@@ -1,0 +1,25 @@
+(** Foreign keys within one schema.
+
+    [{from_rel; from_attr; to_rel; to_attr}] states that values of
+    [from_rel.from_attr] reference [to_rel.to_attr]. Foreign keys drive the
+    construction of logical associations (Clio's "logical relations"). *)
+
+type t = {
+  from_rel : string;
+  from_attr : string;
+  to_rel : string;
+  to_attr : string;
+}
+
+val make : from : string * string -> to_ : string * string -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val validate : Relational.Schema.t -> t -> (unit, string) result
+
+val outgoing : t list -> string -> t list
+(** Foreign keys whose [from_rel] is the given relation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+open Relational
+open Logic
+
+let prefix_vars prefix atoms =
+  List.map
+    (fun (a : Atom.t) ->
+      { a with
+        Atom.args =
+          Array.map
+            (function
+              | Term.Var v -> Term.Var (prefix ^ v)
+              | Term.Cst _ as cst -> cst)
+            a.Atom.args
+      })
+    atoms
+
+let candidate_of_pair (sa : Assoc.t) (ta : Assoc.t) corrs =
+  let relevant =
+    List.filter
+      (fun (c : Correspondence.t) ->
+        Assoc.mem sa c.Correspondence.src_rel
+        && Assoc.mem ta c.Correspondence.tgt_rel)
+      corrs
+  in
+  if relevant = [] then None
+  else begin
+    (* map each target variable (class) to a source variable, first
+       correspondence wins *)
+    let mapping = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Correspondence.t) ->
+        match
+          ( Assoc.var_of sa c.Correspondence.src_rel c.Correspondence.src_attr,
+            Assoc.var_of ta c.Correspondence.tgt_rel c.Correspondence.tgt_attr )
+        with
+        | Some sv, Some tv ->
+          if not (Hashtbl.mem mapping ("T" ^ tv)) then
+            Hashtbl.add mapping ("T" ^ tv) ("S" ^ sv)
+        | None, _ | _, None -> ())
+      relevant;
+    let body = prefix_vars "S" sa.Assoc.atoms in
+    let head =
+      prefix_vars "T" ta.Assoc.atoms
+      |> List.map (fun (a : Atom.t) ->
+             { a with
+               Atom.args =
+                 Array.map
+                   (function
+                     | Term.Var v -> (
+                       match Hashtbl.find_opt mapping v with
+                       | Some sv -> Term.Var sv
+                       | None -> Term.Var v)
+                     | Term.Cst _ as cst -> cst)
+                   a.Atom.args
+             })
+    in
+    Some (Tgd.make ~body ~head ())
+  end
+
+let generate ~source ~target ~src_fkeys ~tgt_fkeys ~corrs =
+  let src_assocs = Assoc.all ~schema:source ~fkeys:src_fkeys in
+  let tgt_assocs = Assoc.all ~schema:target ~fkeys:tgt_fkeys in
+  let raw =
+    List.concat_map
+      (fun sa ->
+        List.filter_map (fun ta -> candidate_of_pair sa ta corrs) tgt_assocs)
+      src_assocs
+  in
+  let deduped =
+    List.fold_left
+      (fun acc tgd ->
+        if List.exists (Tgd.equal_up_to_renaming tgd) acc then acc
+        else tgd :: acc)
+      [] raw
+    |> List.rev
+  in
+  List.mapi
+    (fun i tgd -> Tgd.relabel (Printf.sprintf "theta%d" (i + 1)) tgd)
+    deduped
+
+let correspondences_of_tgd ~source ~target (tgd : Tgd.t) =
+  let positions schema atoms =
+    List.concat_map
+      (fun (a : Atom.t) ->
+        match Schema.find_opt schema a.Atom.rel with
+        | None -> []
+        | Some r ->
+          Array.to_list a.Atom.args
+          |> List.mapi (fun i term -> (a.Atom.rel, r.Relation.attrs.(i), term))
+          |> List.filter_map (fun (rel, attr, term) ->
+                 match term with
+                 | Term.Var v -> Some (rel, attr, v)
+                 | Term.Cst _ -> None))
+      atoms
+  in
+  let src_positions = positions source tgd.Tgd.body in
+  let tgt_positions = positions target tgd.Tgd.head in
+  List.concat_map
+    (fun (tr, ta, tv) ->
+      List.filter_map
+        (fun (sr, sa, sv) ->
+          if String.equal sv tv then
+            Some (Correspondence.make ~src:(sr, sa) ~tgt:(tr, ta))
+          else None)
+        src_positions)
+    tgt_positions
+  |> List.sort_uniq Correspondence.compare

@@ -1,0 +1,30 @@
+(** Clio-style candidate generation.
+
+    For every pair of a source logical association and a target logical
+    association connected by at least one attribute correspondence, a
+    candidate st tgd is emitted: its body is the source association, its head
+    the target association with corresponded positions carrying the matched
+    source variables and all remaining target positions carrying fresh
+    existential variables. Candidates are de-duplicated up to variable
+    renaming and labelled [theta1, theta2, ...] in generation order.
+
+    When the correspondences are those induced by a ground-truth mapping
+    whose tgds are association-shaped (as in the iBench scenarios), the
+    ground truth is a subset of the candidates ([MG ⊆ C]). *)
+
+val generate :
+  source : Relational.Schema.t ->
+  target : Relational.Schema.t ->
+  src_fkeys : Fkey.t list ->
+  tgt_fkeys : Fkey.t list ->
+  corrs : Correspondence.t list ->
+  Logic.Tgd.t list
+
+val correspondences_of_tgd :
+  source : Relational.Schema.t ->
+  target : Relational.Schema.t ->
+  Logic.Tgd.t ->
+  Correspondence.t list
+(** The correspondences a tgd induces: one per (source position, target
+    position) pair sharing a frontier variable. This is how the scenario
+    generator derives the metadata evidence from the ground-truth mapping. *)

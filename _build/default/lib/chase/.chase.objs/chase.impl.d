@@ -1,0 +1,1 @@
+lib/chase/chase.ml: Certain Egd Engine Implication

@@ -1,0 +1,1 @@
+lib/chase/chase.mli: Certain Egd Format Implication Logic Relational

@@ -1,0 +1,1 @@
+lib/chase/certain.ml: Cq List Logic Relational Subst Tuple Value

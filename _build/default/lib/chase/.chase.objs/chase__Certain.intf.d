@@ -1,0 +1,1 @@
+lib/chase/certain.mli: Logic Relational

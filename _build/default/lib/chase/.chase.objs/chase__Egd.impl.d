@@ -1,0 +1,1 @@
+lib/chase/egd.ml: Array Atom Cq Format Instance List Logic Printf Relation Relational Schema String_set Subst Term Value

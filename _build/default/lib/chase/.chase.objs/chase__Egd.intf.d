@@ -1,0 +1,1 @@
+lib/chase/egd.mli: Format Logic Relational

@@ -1,0 +1,1 @@
+lib/chase/engine.ml: Cq Format Instance List Logic Null_source Relational String_set Subst Tgd Tuple Value

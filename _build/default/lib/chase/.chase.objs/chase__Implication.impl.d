@@ -1,0 +1,1 @@
+lib/chase/implication.ml: Array Atom Cq Engine Instance List Logic Relational String_set Subst Term Tgd Tuple Value

@@ -1,0 +1,1 @@
+lib/chase/implication.mli: Logic

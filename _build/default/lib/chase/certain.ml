@@ -1,0 +1,21 @@
+open Relational
+open Logic
+
+let null_free subst =
+  List.for_all (fun (_, v) -> Value.is_const v) (Subst.bindings subst)
+
+let answers inst q = List.filter null_free (Cq.answers inst q)
+
+let answer_tuples inst q ~head =
+  let project subst =
+    match Subst.apply_atom subst head with
+    | Some t -> t
+    | None -> invalid_arg "Certain.answer_tuples: head variable not bound by the query"
+  in
+  (* Joining through a null is legitimate naive evaluation (a null equals
+     itself); only the projected output must be null-free to be certain. *)
+  Cq.answers inst q |> List.map project
+  |> List.filter Tuple.is_ground
+  |> List.sort_uniq Tuple.compare
+
+let is_certain inst q = Cq.holds inst q

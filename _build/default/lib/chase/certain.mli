@@ -1,0 +1,28 @@
+(** Certain answers over instances with labeled nulls.
+
+    After data exchange, the target instance is a {e naive table}: labeled
+    nulls stand for unknown values. The certain answers of a conjunctive
+    query are the tuples returned in {e every} possible completion of the
+    table — computed, for unions of conjunctive queries, by naive
+    evaluation followed by discarding answers that bind an output variable
+    to a null (Imielinski–Lipski). *)
+
+val answers :
+  Relational.Instance.t -> Logic.Atom.t list -> Logic.Subst.t list
+(** All answers of the naive evaluation whose bindings are null-free. *)
+
+val answer_tuples :
+  Relational.Instance.t ->
+  Logic.Atom.t list ->
+  head : Logic.Atom.t ->
+  Relational.Tuple.t list
+(** [answer_tuples inst q ~head] projects the naive answers through a head
+    atom and keeps the ground ones — the certain answers of the projection.
+    Unlike {!answers}, variables projected away may be bound to nulls (a
+    null joins with itself in every completion). Raises [Invalid_argument]
+    if the head uses a variable not bound by the query. *)
+
+val is_certain : Relational.Instance.t -> Logic.Atom.t list -> bool
+(** Boolean query: [true] iff the query holds in every completion — for
+    conjunctive queries, iff naive evaluation finds at least one answer
+    (output-free, so null bindings are fine). *)

@@ -1,0 +1,4 @@
+include Engine
+module Implication = Implication
+module Certain = Certain
+module Egd = Egd

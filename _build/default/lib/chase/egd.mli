@@ -1,0 +1,47 @@
+(** Equality-generating dependencies and their chase.
+
+    An egd [∀x̄ (φ(x̄) → x = y)] (e.g. a key constraint on the target)
+    forces two values to be equal whenever the body matches. Chasing an
+    instance with egds repeatedly finds violations and resolves them:
+
+    - null vs. anything: the null is replaced throughout the instance;
+    - two distinct constants: the chase {e fails} — the constraints are
+      unsatisfiable on this instance.
+
+    This is the standard second phase of data exchange with target
+    constraints; st tgds never read the target, so one tgd pass followed by
+    the egd fixpoint yields the canonical universal solution. *)
+
+type t = private {
+  label : string;
+  body : Logic.Atom.t list;  (** conjunction over one schema; non-empty *)
+  left : string;  (** body variable *)
+  right : string;  (** body variable *)
+}
+
+val make : ?label : string -> body : Logic.Atom.t list -> string -> string -> t
+(** [make ~body x y] is [body → x = y]. Raises [Invalid_argument] if the
+    body is empty or either variable does not occur in it. *)
+
+val key : rel : string -> key : string list -> Relational.Schema.t -> t list
+(** The egds of a key constraint: for a relation [R] with key attributes
+    [key], one egd per non-key attribute equating it across any two
+    [R]-tuples agreeing on the key. Raises [Not_found] on an unknown
+    relation and [Invalid_argument] on unknown key attributes. *)
+
+type conflict = {
+  egd : t;
+  values : Relational.Value.t * Relational.Value.t;
+      (** the two distinct constants the egd tried to equate *)
+}
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val chase :
+  Relational.Instance.t -> t list -> (Relational.Instance.t, conflict) result
+(** The egd fixpoint. Null merges prefer the constant, then the
+    smaller-labeled null, so the result is deterministic. *)
+
+val satisfied : Relational.Instance.t -> t list -> bool
+
+val pp : Format.formatter -> t -> unit

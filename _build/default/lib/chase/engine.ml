@@ -1,0 +1,72 @@
+open Relational
+open Logic
+
+module Trigger = struct
+  type t = {
+    tgd_index : int;
+    tgd : Tgd.t;
+    subst : Subst.t;
+    tuples : Tuple.t list;
+    nulls : Value.Set.t;
+  }
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<h>%s[%a] => %a@]" t.tgd.Tgd.label Subst.pp t.subst
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Tuple.pp)
+      t.tuples
+end
+
+type result = {
+  solution : Instance.t;
+  triggers : Trigger.t list;
+}
+
+let fire_tgd ~nulls ~tgd_index (tgd : Tgd.t) index =
+  let existentials = String_set.elements (Tgd.existential_vars tgd) in
+  let fire subst =
+    let subst, invented =
+      List.fold_left
+        (fun (s, inv) v ->
+          let null = Null_source.fresh nulls in
+          (Subst.bind_exn v null s, Value.Set.add null inv))
+        (subst, Value.Set.empty) existentials
+    in
+    let tuples = List.map (Subst.apply_atom_exn subst) tgd.Tgd.head in
+    { Trigger.tgd_index; tgd; subst; tuples; nulls = invented }
+  in
+  List.map fire (Cq.answers_indexed index tgd.Tgd.body)
+
+let run ?nulls ?index src tgds =
+  let nulls = match nulls with Some n -> n | None -> Null_source.create () in
+  (* one index over the source serves every tgd body; callers chasing the
+     same source repeatedly (e.g. once per candidate) should build it once
+     and pass it in *)
+  let index = match index with Some i -> i | None -> Cq.Index.build src in
+  let triggers =
+    List.concat (List.mapi (fun i tgd -> fire_tgd ~nulls ~tgd_index:i tgd index) tgds)
+  in
+  let solution =
+    List.fold_left
+      (fun inst (tr : Trigger.t) -> Instance.add_all tr.Trigger.tuples inst)
+      Instance.empty triggers
+  in
+  { solution; triggers }
+
+let universal_solution ?nulls ?index src tgds = (run ?nulls ?index src tgds).solution
+
+let satisfies ~source ~target (tgd : Tgd.t) =
+  let frontier = Tgd.frontier_vars tgd in
+  Cq.answers source tgd.Tgd.body
+  |> List.for_all (fun subst ->
+         let restricted =
+           List.fold_left
+             (fun acc (v, x) ->
+               if String_set.mem v frontier then Subst.bind_exn v x acc else acc)
+             Subst.empty (Subst.bindings subst)
+         in
+         Cq.extensions target restricted tgd.Tgd.head <> [])
+
+let satisfies_all ~source ~target tgds =
+  List.for_all (satisfies ~source ~target) tgds

@@ -1,0 +1,86 @@
+open Relational
+open Logic
+
+(* Freeze a variable into a reserved constant; the frozen namespace cannot
+   collide with ordinary constants as long as callers avoid the prefix. *)
+let frozen v = "__frz_" ^ v
+
+let freeze_atoms atoms =
+  List.map
+    (fun (a : Atom.t) ->
+      let values =
+        Array.map
+          (function
+            | Term.Var v -> Value.Const (frozen v)
+            | Term.Cst c -> Value.Const c)
+          a.Atom.args
+      in
+      { Tuple.rel = a.Atom.rel; values })
+    atoms
+
+let implies strong weak =
+  (* Rename apart so freezing cannot capture variables across the tgds. *)
+  let weak = Tgd.rename_apart ~suffix:"_w" weak in
+  let source = Instance.of_tuples (freeze_atoms weak.Tgd.body) in
+  let chased = Engine.universal_solution source [ strong ] in
+  (* The frozen head must map into the chase result with frontier variables
+     pinned to their frozen constants. *)
+  let frontier = Tgd.frontier_vars weak in
+  let pinned =
+    String_set.fold
+      (fun v acc -> Subst.bind_exn v (Value.Const (frozen v)) acc)
+      frontier Subst.empty
+  in
+  Cq.extensions chased pinned weak.Tgd.head <> []
+
+let equivalent a b = implies a b && implies b a
+
+let minimize_tgd (tgd : Tgd.t) =
+  let head_vars = Tgd.head_vars tgd in
+  let rec shrink (current : Tgd.t) =
+    let try_without atom =
+      let body = List.filter (fun a -> a != atom) current.Tgd.body in
+      if body = [] then None
+      else
+        let vars_of atoms =
+          List.fold_left
+            (fun acc a -> String_set.union acc (Atom.vars a))
+            String_set.empty atoms
+        in
+        let frontier_kept =
+          String_set.subset
+            (String_set.inter head_vars (vars_of current.Tgd.body))
+            (vars_of body)
+        in
+        if not frontier_kept then None
+        else
+          let candidate =
+            Tgd.make ~label:current.Tgd.label ~body ~head:current.Tgd.head ()
+          in
+          if equivalent candidate current then Some candidate else None
+    in
+    match List.find_map try_without current.Tgd.body with
+    | Some smaller -> shrink smaller
+    | None -> current
+  in
+  shrink tgd
+
+let minimize tgds =
+  let arr = Array.of_list tgds in
+  let n = Array.length arr in
+  let redundant = Array.make n false in
+  (* j is dropped when some other candidate i implies it and wins the
+     tie-break: smaller size, or equal size and earlier position. *)
+  let beats i j =
+    let si = Tgd.size arr.(i) and sj = Tgd.size arr.(j) in
+    si < sj || (si = sj && i < j)
+  in
+  for j = 0 to n - 1 do
+    let i = ref 0 in
+    while (not redundant.(j)) && !i < n do
+      if !i <> j && (not redundant.(!i)) && beats !i j && implies arr.(!i) arr.(j)
+      then redundant.(j) <- true;
+      incr i
+    done
+  done;
+  List.filteri (fun j _ -> not redundant.(j)) tgds

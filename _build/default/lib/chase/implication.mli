@@ -1,0 +1,30 @@
+(** Logical implication between st tgds, decided with the chase.
+
+    [θ ⊨ θ'] iff every pair [(I, J)] satisfying [θ] also satisfies [θ'].
+    The standard test freezes the body of [θ'] into a canonical source
+    instance (variables become distinct fresh constants), chases it with
+    [θ], and checks whether the frozen head of [θ'] is entailed — i.e.
+    whether the head maps homomorphically into the chase result with the
+    frontier variables fixed to their frozen constants.
+
+    Implication is what candidate-set minimisation needs: a candidate
+    implied by another candidate of no greater size is redundant. *)
+
+val implies : Logic.Tgd.t -> Logic.Tgd.t -> bool
+(** [implies strong weak] is [true] iff [strong ⊨ weak]. *)
+
+val equivalent : Logic.Tgd.t -> Logic.Tgd.t -> bool
+(** Mutual implication. Coarser than [Tgd.equal_up_to_renaming] — it also
+    identifies tgds that differ by redundant atoms. *)
+
+val minimize : Logic.Tgd.t list -> Logic.Tgd.t list
+(** Removes every candidate implied by an earlier-or-smaller candidate:
+    among logically equivalent candidates the smallest (then earliest)
+    survives; a candidate strictly implied by a {e smaller or equal-sized}
+    one is dropped. The relative order of survivors is preserved. *)
+
+val minimize_tgd : Logic.Tgd.t -> Logic.Tgd.t
+(** Removes redundant body atoms (greedily, keeping the tgd logically
+    equivalent), lowering [Tgd.size] and therefore the selection cost of an
+    otherwise identical candidate. The frontier is preserved: an atom whose
+    removal would unbind a head variable is kept. *)

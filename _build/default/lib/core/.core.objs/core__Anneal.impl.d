@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Array Float Frac Objective Problem Random Util

@@ -1,0 +1,1 @@
+lib/core/cmd.ml: Array Float Frac Fun Greedy List Local_search Logic Objective Preprocess Printf Problem Psl Util

@@ -1,0 +1,1 @@
+lib/core/cmd.mli: Problem Psl Util

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Frac Greedy Objective Printf Problem Util

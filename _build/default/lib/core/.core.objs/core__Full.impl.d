@@ -1,0 +1,1 @@
+lib/core/full.ml: Array Bitset Frac Fun Int List Logic Printf Problem Util

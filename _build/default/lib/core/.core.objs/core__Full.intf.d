@@ -1,0 +1,1 @@
+lib/core/full.mli: Logic Problem Relational Util

@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Frac Greedy Objective Problem Random Util

@@ -1,0 +1,1 @@
+lib/core/objective.ml: Array Cover Format Frac Problem Util

@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Array Frac Hashtbl List Objective Problem Relational Util

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Cover Frac Hashtbl Instance List Logic Relational Tuple Util

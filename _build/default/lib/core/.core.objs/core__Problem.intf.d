@@ -1,0 +1,1 @@
+lib/core/problem.mli: Cover Logic Relational Util

@@ -1,0 +1,1 @@
+lib/core/setcover.ml: Array Atom Exact Frac Instance List Logic Objective Problem Relational String Term Tgd Tuple Util

@@ -1,0 +1,1 @@
+lib/core/setcover.mli: Problem Util

@@ -1,0 +1,1 @@
+lib/core/tune.ml: Array Cmd List Problem

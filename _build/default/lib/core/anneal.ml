@@ -1,0 +1,43 @@
+open Util
+
+type options = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+}
+
+let default_options =
+  { iterations = 2000; initial_temperature = 2.0; cooling = 0.998; seed = 0 }
+
+let solve ?(options = default_options) (p : Problem.t) =
+  let m = Problem.num_candidates p in
+  if m = 0 then [||]
+  else begin
+    let rng = Random.State.make [| options.seed |] in
+    let sel = Array.make m false in
+    let current = ref (Objective.value p sel) in
+    let best = Array.copy sel in
+    let best_v = ref !current in
+    let temperature = ref options.initial_temperature in
+    for _ = 1 to options.iterations do
+      let c = Random.State.int rng m in
+      sel.(c) <- not sel.(c);
+      let v = Objective.value p sel in
+      let delta = Frac.to_float (Frac.sub v !current) in
+      let accept =
+        delta <= 0.
+        || Random.State.float rng 1. < exp (-.delta /. Float.max 1e-9 !temperature)
+      in
+      if accept then begin
+        current := v;
+        if Frac.(v < !best_v) then begin
+          best_v := v;
+          Array.blit sel 0 best 0 m
+        end
+      end
+      else sel.(c) <- not sel.(c);
+      temperature := !temperature *. options.cooling
+    done;
+    best
+  end

@@ -1,0 +1,21 @@
+(** Simulated annealing over selections — a randomised baseline.
+
+    Standard geometric-cooling annealing on the selection mask: a random
+    single-candidate flip is accepted when it improves the objective, or
+    with probability [exp(−Δ/T)] otherwise. Deterministic for a fixed seed.
+    Mostly useful as an independent check on the other solvers in tests and
+    ablations; on this problem the greedy/CMD pipeline is both faster and
+    better. *)
+
+type options = {
+  iterations : int;  (** total proposals; default 2000 *)
+  initial_temperature : float;  (** default 2.0 *)
+  cooling : float;  (** geometric factor per proposal; default 0.998 *)
+  seed : int;  (** default 0 *)
+}
+
+val default_options : options
+
+val solve : ?options : options -> Problem.t -> bool array
+(** The best selection visited (which is at least as good as the final
+    state). *)

@@ -1,0 +1,122 @@
+open Util
+
+type rounding =
+  | Conditional
+  | Threshold of float
+
+type options = {
+  admm : Psl.Admm.options;
+  rounding : rounding;
+  repair : bool;
+  squared : bool;
+}
+
+let default_options =
+  {
+    admm = Psl.Admm.default_options;
+    rounding = Conditional;
+    repair = true;
+    squared = false;
+  }
+
+type result = {
+  selection : bool array;
+  objective : Frac.t;
+  fractional : float array;
+  admm : Psl.Admm.outcome;
+  num_vars : int;
+  num_potentials : int;
+  num_constraints : int;
+}
+
+let build_model ?(squared = false) (p : Problem.t) =
+  (* Linear soft losses become squared hinges in the squared flavour; their
+     expressions are non-negative over the box, so the hinge is exact. *)
+  let soft weight expr =
+    if squared then Psl.Hlmrf.Hinge { weight; expr; squared = true }
+    else Psl.Hlmrf.Linear { weight; expr }
+  in
+  let m = Problem.num_candidates p in
+  let n_tuples = Problem.num_tuples p in
+  let model = Psl.Hlmrf.create ~num_vars:(m + n_tuples) in
+  let w1 = float_of_int p.Problem.weights.Problem.w_unexplained in
+  (* per-candidate selection cost: w2·errors + w3·size, as ¬in(θ) priors *)
+  Array.iteri
+    (fun c cost ->
+      let cost = Frac.to_float cost in
+      if cost > 0. then
+        Psl.Hlmrf.add_potential model
+          (soft cost (Psl.Linexpr.make [ (c, 1.) ] 0.)))
+    p.Problem.cand_cost;
+  (* per-tuple: the "wants to be explained" loss and its support constraint *)
+  let support = Array.make n_tuples [] in
+  Array.iteri
+    (fun c cover_list ->
+      Array.iter
+        (fun (ti, d) -> support.(ti) <- (c, Frac.to_float d) :: support.(ti))
+        cover_list)
+    p.Problem.covers;
+  Array.iteri
+    (fun ti sup ->
+      let y = m + ti in
+      Psl.Hlmrf.add_potential model
+        (soft w1 (Psl.Linexpr.make [ (y, -1.) ] 1.));
+      Psl.Hlmrf.add_constraint model
+        (Psl.Hlmrf.Leq
+           (Psl.Linexpr.make
+              ((y, 1.) :: List.map (fun (c, d) -> (c, -.d)) sup)
+              0.)))
+    support;
+  Array.iteri
+    (fun c (tgd : Logic.Tgd.t) ->
+      Psl.Hlmrf.set_var_name model c (Printf.sprintf "in(%s)" tgd.Logic.Tgd.label))
+    p.Problem.candidates;
+  model
+
+let conditional_round (p : Problem.t) fractional =
+  let m = Problem.num_candidates p in
+  let order =
+    List.init m Fun.id
+    |> List.sort (fun a b -> Float.compare fractional.(b) fractional.(a))
+  in
+  let sel = Array.make m false in
+  let best = Array.make (Problem.num_tuples p) Frac.zero in
+  List.iter
+    (fun c ->
+      let gain = Greedy.marginal_gain p ~best c in
+      if Frac.(Frac.zero < gain) then begin
+        sel.(c) <- true;
+        Array.iter
+          (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
+          p.Problem.covers.(c)
+      end)
+    order;
+  sel
+
+let threshold_round (p : Problem.t) tau fractional =
+  Array.init (Problem.num_candidates p) (fun c -> fractional.(c) >= tau)
+
+let solve ?(options = default_options) (p : Problem.t) =
+  let reduced = Preprocess.run p in
+  let rp = reduced.Preprocess.problem in
+  let model = build_model ~squared:options.squared rp in
+  let admm = Psl.Admm.solve ~options:options.admm model in
+  let m = Problem.num_candidates p in
+  let fractional = Array.sub admm.Psl.Admm.solution 0 m in
+  let rounded =
+    match options.rounding with
+    | Conditional -> conditional_round rp fractional
+    | Threshold tau -> threshold_round rp tau fractional
+  in
+  let selection =
+    if options.repair then Local_search.improve rp rounded else rounded
+  in
+  {
+    selection;
+    objective = Objective.value p selection;
+    fractional;
+    admm;
+    num_vars = Psl.Hlmrf.num_vars model;
+    num_potentials = Psl.Hlmrf.num_potentials model;
+    num_constraints = Psl.Hlmrf.num_constraints model;
+  }

@@ -1,0 +1,54 @@
+(** CMD — collective mapping discovery, the paper's approach.
+
+    The selection problem is translated into a ground probabilistic-soft-logic
+    program over decision atoms [in(θ) ∈ [0,1]] (one per candidate) and
+    auxiliary atoms [explained(t) ∈ [0,1]] (one per coverable target tuple):
+
+    - soft, weight [w1]: [explained(t)] — a linear loss [1 − y_t];
+    - hard: [explained(t) ≤ Σ_θ covers(θ,t)·in(θ)] — the Łukasiewicz
+      disjunction of the candidates' support;
+    - soft, weight [w2·errors(θ) + w3·size(θ)]: [¬in(θ)] — a linear loss
+      [cost_θ · x_θ].
+
+    MAP inference on the resulting hinge-loss MRF (consensus ADMM,
+    {!Psl.Admm}) yields fractional [in(θ)] values; a discrete mapping is
+    recovered by conditional rounding — candidates are visited in decreasing
+    fractional value and kept iff they improve the exact discrete objective —
+    followed by a single-flip repair pass. Certainly-unexplained tuples are
+    removed before the model is built ({!Preprocess}).
+
+    The LP relaxation uses the capped-sum semantics of Łukasiewicz
+    disjunction for [explains]; the rounding and all reported objective
+    values use the exact [max] semantics of Eq. 9. *)
+
+type rounding =
+  | Conditional  (** greedy acceptance in fractional order (default) *)
+  | Threshold of float  (** keep candidates with [in(θ) ≥ τ] *)
+
+type options = {
+  admm : Psl.Admm.options;
+  rounding : rounding;
+  repair : bool;  (** run the single-flip repair pass (default true) *)
+  squared : bool;
+      (** square the soft potentials, PSL's default flavour; the objective
+          relaxed is then the squared variant of Eq. 9 (default false) *)
+}
+
+val default_options : options
+
+type result = {
+  selection : bool array;
+  objective : Util.Frac.t;  (** exact objective of [selection] *)
+  fractional : float array;  (** the MAP values of [in(θ)], per candidate *)
+  admm : Psl.Admm.outcome;
+  num_vars : int;  (** variables of the ground model *)
+  num_potentials : int;
+  num_constraints : int;
+}
+
+val solve : ?options : options -> Problem.t -> result
+
+val build_model : ?squared : bool -> Problem.t -> Psl.Hlmrf.t
+(** The ground HL-MRF for a (typically preprocessed) problem, with variables
+    [0..m-1] the candidates and [m..m+T-1] the explained-atoms. Exposed for
+    testing and for the scaling benchmarks. *)

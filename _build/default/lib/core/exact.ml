@@ -1,0 +1,54 @@
+open Util
+
+let solve ?(max_candidates = 25) (p : Problem.t) =
+  let m = Problem.num_candidates p in
+  if m > max_candidates then
+    invalid_arg
+      (Printf.sprintf "Exact.solve: %d candidates exceed the limit of %d" m
+         max_candidates);
+  let n_tuples = Problem.num_tuples p in
+  let w1 = Frac.of_int p.Problem.weights.Problem.w_unexplained in
+  (* Incumbent from greedy. *)
+  let best_sel = ref (Greedy.solve p) in
+  let best_val = ref (Objective.value p !best_sel) in
+  let sel = Array.make m false in
+  (* excluded.(c) = candidate decided out on the current path *)
+  let excluded = Array.make m false in
+  (* Optimistic per-tuple coverage given the exclusions: max over candidates
+     not excluded. Recomputed per node only over the affected tuples would be
+     fancier; at ≤25 candidates a full pass is cheap. *)
+  let optimistic_unexplained () =
+    let best = Array.make n_tuples Frac.zero in
+    for c = 0 to m - 1 do
+      if not excluded.(c) then
+        Array.iter
+          (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
+          p.Problem.covers.(c)
+    done;
+    let covered = Array.fold_left Frac.add Frac.zero best in
+    Frac.mul w1 (Frac.sub (Frac.of_int n_tuples) covered)
+  in
+  let rec branch i cost =
+    if i >= m then begin
+      let v = Objective.value p sel in
+      if Frac.(v < !best_val) then begin
+        best_val := v;
+        best_sel := Array.copy sel
+      end
+    end
+    else begin
+      let bound = Frac.add cost (optimistic_unexplained ()) in
+      if Frac.(bound < !best_val) then begin
+        (* include candidate i *)
+        sel.(i) <- true;
+        branch (i + 1) (Frac.add cost p.Problem.cand_cost.(i));
+        sel.(i) <- false;
+        (* exclude candidate i *)
+        excluded.(i) <- true;
+        branch (i + 1) cost;
+        excluded.(i) <- false
+      end
+    end
+  in
+  branch 0 Frac.zero;
+  !best_sel

@@ -1,0 +1,177 @@
+open Util
+
+type t = {
+  problem : Problem.t;
+  cover_sets : Bitset.t array;  (* per candidate: set of covered tuple indices *)
+  n_tuples : int;
+  w1 : int;
+}
+
+let of_problem (p : Problem.t) =
+  let not_full =
+    Array.fold_left
+      (fun acc (tgd : Logic.Tgd.t) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Logic.Tgd.is_full tgd then None else Some tgd.Logic.Tgd.label)
+      None p.Problem.candidates
+  in
+  match not_full with
+  | Some label -> Error (Printf.sprintf "candidate %s is not full" label)
+  | None ->
+    let n_tuples = Problem.num_tuples p in
+    let cover_sets =
+      Array.map
+        (fun cover_list ->
+          let b = Bitset.create n_tuples in
+          Array.iter
+            (fun (ti, d) ->
+              (* full tgds cover at degree exactly 1 *)
+              if Frac.equal d Frac.one then Bitset.set b ti)
+            cover_list;
+          b)
+        p.Problem.covers
+    in
+    Ok
+      {
+        problem = p;
+        cover_sets;
+        n_tuples;
+        w1 = p.Problem.weights.Problem.w_unexplained;
+      }
+
+let make ?weights ~source ~j candidates =
+  of_problem (Problem.make ?weights ~source ~j candidates)
+
+let num_candidates t = Array.length t.cover_sets
+
+let problem t = t.problem
+
+let selection_cost t sel =
+  let cost = ref Frac.zero in
+  Array.iteri
+    (fun c selected ->
+      if selected then cost := Frac.add !cost t.problem.Problem.cand_cost.(c))
+    sel;
+  !cost
+
+let covered_of t sel =
+  let covered = Bitset.create t.n_tuples in
+  Array.iteri
+    (fun c selected -> if selected then Bitset.union_into covered t.cover_sets.(c))
+    sel;
+  covered
+
+let value t sel =
+  let covered = covered_of t sel in
+  Frac.add
+    (Frac.of_int (t.w1 * (t.n_tuples - Bitset.count covered)))
+    (selection_cost t sel)
+
+(* Lazy greedy: marginal gains only decrease as coverage grows (coverage is
+   submodular), so a stale priority that is still the best after refresh is
+   exact. *)
+let greedy t =
+  let m = num_candidates t in
+  let sel = Array.make m false in
+  let covered = Bitset.create t.n_tuples in
+  let gain c =
+    let new_tuples = Bitset.union_count covered t.cover_sets.(c) - Bitset.count covered in
+    Frac.sub (Frac.of_int (t.w1 * new_tuples)) t.problem.Problem.cand_cost.(c)
+  in
+  (* priority list of (candidate, cached gain), kept sorted descending *)
+  let module Pq = struct
+    let compare (_, g1) (_, g2) = Frac.compare g2 g1
+  end in
+  let queue = ref (List.sort Pq.compare (List.init m (fun c -> (c, gain c)))) in
+  let rec step () =
+    match !queue with
+    | [] -> ()
+    | (c, cached) :: rest ->
+      let fresh = gain c in
+      if Frac.(fresh <= Frac.zero) && Frac.(cached <= Frac.zero) then ()
+      else if Frac.equal fresh cached then begin
+        (* cached value is exact and the largest: take it *)
+        sel.(c) <- true;
+        Bitset.union_into covered t.cover_sets.(c);
+        queue := rest;
+        step ()
+      end
+      else begin
+        (* stale: refresh, re-sort, and look at the new head *)
+        queue := List.sort Pq.compare ((c, fresh) :: rest);
+        step ()
+      end
+  in
+  step ();
+  (* removal pass, as in the general greedy *)
+  let current = ref (value t sel) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for c = 0 to m - 1 do
+      if sel.(c) then begin
+        sel.(c) <- false;
+        let v = value t sel in
+        if Frac.(v < !current) then begin
+          current := v;
+          improved := true
+        end
+        else sel.(c) <- true
+      end
+    done
+  done;
+  sel
+
+let exact ?(max_candidates = 30) t =
+  let m = num_candidates t in
+  if m > max_candidates then
+    invalid_arg
+      (Printf.sprintf "Full.exact: %d candidates exceed the limit of %d" m
+         max_candidates);
+  (* order by decreasing coverage so that bounds tighten early *)
+  let order =
+    List.init m Fun.id
+    |> List.sort (fun a b ->
+           Int.compare (Bitset.count t.cover_sets.(b)) (Bitset.count t.cover_sets.(a)))
+    |> Array.of_list
+  in
+  (* suffix_cover.(i) = union of cover sets of candidates order.(i..) *)
+  let suffix_cover = Array.make (m + 1) (Bitset.create t.n_tuples) in
+  for i = m - 1 downto 0 do
+    let b = Bitset.copy suffix_cover.(i + 1) in
+    Bitset.union_into b t.cover_sets.(order.(i));
+    suffix_cover.(i) <- b
+  done;
+  let sel = Array.make m false in
+  let best_sel = ref (greedy t) in
+  let best_val = ref (value t !best_sel) in
+  let covered = Bitset.create t.n_tuples in
+  let rec branch i cost (covered : Bitset.t) =
+    if i >= m then begin
+      let v = Frac.add (Frac.of_int (t.w1 * (t.n_tuples - Bitset.count covered))) cost in
+      if Frac.(v < !best_val) then begin
+        best_val := v;
+        best_sel := Array.copy sel
+      end
+    end
+    else begin
+      let optimistic_cover = Bitset.union_count covered suffix_cover.(i) in
+      let bound =
+        Frac.add (Frac.of_int (t.w1 * (t.n_tuples - optimistic_cover))) cost
+      in
+      if Frac.(bound < !best_val) then begin
+        let c = order.(i) in
+        (* include *)
+        sel.(c) <- true;
+        let covered' = Bitset.copy covered in
+        Bitset.union_into covered' t.cover_sets.(c);
+        branch (i + 1) (Frac.add cost t.problem.Problem.cand_cost.(c)) covered';
+        sel.(c) <- false;
+        (* exclude *)
+        branch (i + 1) cost covered
+      end
+    end
+  in
+  branch 0 Frac.zero covered;
+  !best_sel

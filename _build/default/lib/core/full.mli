@@ -1,0 +1,44 @@
+(** The Eq. 4 fast path: mapping selection for full st tgds.
+
+    When every candidate is full, the chase produces only ground tuples, the
+    coverage degrees are 0/1 and each candidate's error count is independent
+    of the rest of the selection. Eq. 9 degenerates to Eq. 4:
+
+    {v  F(M) = w1·|J \ covered(M)| + Σ_{θ∈M} (w2·err_θ + w3·size_θ)  v}
+
+    — a weighted partial-set-cover objective. This module represents each
+    candidate's covered-tuple set as a bitset, evaluates [F] in a handful of
+    word operations, and provides a lazy-greedy solver and a bitset-based
+    branch and bound that are much faster than the general machinery (the
+    scaling comparison is experiment E13). Theorem 1's reduction targets
+    exactly this problem. *)
+
+type t
+
+val of_problem : Problem.t -> (t, string) result
+(** Specialises a general problem. Fails with the offending label if some
+    candidate is not full. *)
+
+val make :
+  ?weights : Problem.weights ->
+  source : Relational.Instance.t ->
+  j : Relational.Instance.t ->
+  Logic.Tgd.t list ->
+  (t, string) result
+(** Builds the specialised problem directly. *)
+
+val num_candidates : t -> int
+
+val value : t -> bool array -> Util.Frac.t
+(** [F(M)]; agrees with {!Objective.value} on the originating problem. *)
+
+val greedy : t -> bool array
+(** Lazy greedy (priority queue over upper bounds on marginal gains) with a
+    removal pass; equivalent results to {!Greedy.solve}, faster. *)
+
+val exact : ?max_candidates : int -> t -> bool array
+(** Branch and bound with bitset coverage bounds (default limit 30 — the
+    specialised bound tolerates more candidates than {!Exact.solve}). *)
+
+val problem : t -> Problem.t
+(** The originating general problem (for metrics etc.). *)

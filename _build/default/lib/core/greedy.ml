@@ -1,0 +1,59 @@
+open Util
+
+let marginal_gain (p : Problem.t) ~best c =
+  let coverage_gain =
+    Array.fold_left
+      (fun acc (ti, d) ->
+        if Frac.(best.(ti) < d) then Frac.add acc (Frac.sub d best.(ti)) else acc)
+      Frac.zero p.Problem.covers.(c)
+  in
+  Frac.sub
+    (Frac.mul (Frac.of_int p.Problem.weights.Problem.w_unexplained) coverage_gain)
+    p.Problem.cand_cost.(c)
+
+let forward p =
+  let m = Problem.num_candidates p in
+  let sel = Array.make m false in
+  let best = Array.make (Problem.num_tuples p) Frac.zero in
+  let continue_ = ref true in
+  while !continue_ do
+    let pick = ref None in
+    for c = 0 to m - 1 do
+      if not sel.(c) then begin
+        let gain = marginal_gain p ~best c in
+        if Frac.(Frac.zero < gain) then
+          match !pick with
+          | Some (_, g) when Frac.(gain <= g) -> ()
+          | Some _ | None -> pick := Some (c, gain)
+      end
+    done;
+    match !pick with
+    | None -> continue_ := false
+    | Some (c, _) ->
+      sel.(c) <- true;
+      Array.iter
+        (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
+        p.Problem.covers.(c)
+  done;
+  sel
+
+let backward p sel =
+  let improved = ref true in
+  let current = ref (Objective.value p sel) in
+  while !improved do
+    improved := false;
+    for c = 0 to Array.length sel - 1 do
+      if sel.(c) then begin
+        sel.(c) <- false;
+        let v = Objective.value p sel in
+        if Frac.(v < !current) then begin
+          current := v;
+          improved := true
+        end
+        else sel.(c) <- true
+      end
+    done
+  done;
+  sel
+
+let solve p = backward p (forward p)

@@ -1,0 +1,42 @@
+open Util
+
+let improve p start =
+  let sel = Array.copy start in
+  let current = ref (Objective.value p sel) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_flip = ref None in
+    for c = 0 to Array.length sel - 1 do
+      sel.(c) <- not sel.(c);
+      let v = Objective.value p sel in
+      sel.(c) <- not sel.(c);
+      if Frac.(v < !current) then
+        match !best_flip with
+        | Some (_, bv) when Frac.(bv <= v) -> ()
+        | Some _ | None -> best_flip := Some (c, v)
+    done;
+    match !best_flip with
+    | None -> ()
+    | Some (c, v) ->
+      sel.(c) <- not sel.(c);
+      current := v;
+      improved := true
+  done;
+  sel
+
+let solve ?(restarts = 0) ?(seed = 0) p =
+  let m = Problem.num_candidates p in
+  let best = ref (improve p (Greedy.solve p)) in
+  let best_v = ref (Objective.value p !best) in
+  let rng = Random.State.make [| seed |] in
+  for _ = 1 to restarts do
+    let start = Array.init m (fun _ -> Random.State.bool rng) in
+    let candidate = improve p start in
+    let v = Objective.value p candidate in
+    if Frac.(v < !best_v) then begin
+      best := candidate;
+      best_v := v
+    end
+  done;
+  !best

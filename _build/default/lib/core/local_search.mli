@@ -1,0 +1,12 @@
+(** Single-flip local search over selections.
+
+    [improve] repeatedly applies the best improving single candidate flip
+    until none exists; [solve] runs [improve] from the greedy solution and,
+    optionally, from additional random restarts, returning the best local
+    optimum found. *)
+
+val improve : Problem.t -> bool array -> bool array
+(** Returns a (possibly) improved copy; the argument is not mutated. *)
+
+val solve : ?restarts : int -> ?seed : int -> Problem.t -> bool array
+(** Default: no restarts (greedy start only), seed 0. *)

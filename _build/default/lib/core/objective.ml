@@ -1,0 +1,58 @@
+open Util
+
+type breakdown = {
+  unexplained : Frac.t;
+  errors : int;
+  size : int;
+  total : Frac.t;
+}
+
+let best_coverage (p : Problem.t) sel =
+  let best = Array.make (Array.length p.Problem.tuples) Frac.zero in
+  Array.iteri
+    (fun c selected ->
+      if selected then
+        Array.iter
+          (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
+          p.Problem.covers.(c))
+    sel;
+  best
+
+let explains (p : Problem.t) sel ti =
+  let best = ref Frac.zero in
+  Array.iteri
+    (fun c selected ->
+      if selected then
+        Array.iter
+          (fun (ti', d) -> if ti' = ti && Frac.(!best < d) then best := d)
+          p.Problem.covers.(c))
+    sel;
+  !best
+
+let breakdown (p : Problem.t) sel =
+  let best = best_coverage p sel in
+  let covered = Array.fold_left Frac.add Frac.zero best in
+  let unexplained =
+    Frac.mul
+      (Frac.of_int p.Problem.weights.Problem.w_unexplained)
+      (Frac.sub (Frac.of_int (Array.length p.Problem.tuples)) covered)
+  in
+  let errors = ref 0 and size = ref 0 and cost = ref Frac.zero in
+  Array.iteri
+    (fun c selected ->
+      if selected then begin
+        errors := !errors + Cover.error_count p.Problem.stats.(c);
+        size := !size + p.Problem.stats.(c).Cover.size;
+        cost := Frac.add !cost p.Problem.cand_cost.(c)
+      end)
+    sel;
+  { unexplained; errors = !errors; size = !size; total = Frac.add unexplained !cost }
+
+let value p sel = (breakdown p sel).total
+
+let empty_value (p : Problem.t) =
+  Frac.of_int (p.Problem.weights.Problem.w_unexplained * Array.length p.Problem.tuples)
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "unexplained %a + errors %d + size %d = %a" Frac.pp
+    b.unexplained b.errors b.size Frac.pp b.total

@@ -1,0 +1,37 @@
+(** The selection objective (Eq. 4 / Eq. 9 of the paper, with the appendix's
+    weighted generalisation).
+
+    For a selection [M ⊆ C]:
+
+    {v
+      F(M) =  w1 · Σ_{t ∈ J}  (1 − explains(M, t))
+            + w2 · Σ_{θ ∈ M}  errors(θ)
+            + w3 · Σ_{θ ∈ M}  size(θ)
+    v}
+
+    with [explains(M, t) = max_{θ ∈ M} covers(θ, t)]. All values are exact
+    rationals. *)
+
+type breakdown = {
+  unexplained : Util.Frac.t;  (** [w1 · Σ (1 − explains)] *)
+  errors : int;  (** [Σ_{θ ∈ M} errors(θ)], unweighted count *)
+  size : int;  (** [Σ_{θ ∈ M} size(θ)], unweighted *)
+  total : Util.Frac.t;  (** the weighted objective [F(M)] *)
+}
+
+val value : Problem.t -> bool array -> Util.Frac.t
+(** [F] of a selection (given as a membership mask over the candidates). *)
+
+val breakdown : Problem.t -> bool array -> breakdown
+
+val explains : Problem.t -> bool array -> int -> Util.Frac.t
+(** [explains problem sel i]: the degree to which the selection explains the
+    [i]-th target tuple. *)
+
+val best_coverage : Problem.t -> bool array -> Util.Frac.t array
+(** Per-tuple [explains] values for a selection, as a fresh array. *)
+
+val empty_value : Problem.t -> Util.Frac.t
+(** [F({})] — [w1 · |J|]. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,41 @@
+open Util
+
+type reduced = {
+  problem : Problem.t;
+  constant : Frac.t;
+  removed_tuples : Relational.Tuple.t list;
+}
+
+let run (p : Problem.t) =
+  let n_tuples = Array.length p.Problem.tuples in
+  let coverable = Array.make n_tuples false in
+  Array.iter
+    (fun cover_list -> Array.iter (fun (ti, _) -> coverable.(ti) <- true) cover_list)
+    p.Problem.covers;
+  let keep = Array.to_list (Array.mapi (fun i b -> (i, b)) coverable) in
+  let kept_indices = List.filter_map (fun (i, b) -> if b then Some i else None) keep in
+  let removed =
+    List.filter_map
+      (fun (i, b) -> if b then None else Some p.Problem.tuples.(i))
+      keep
+  in
+  let remap = Hashtbl.create (List.length kept_indices) in
+  List.iteri (fun fresh old -> Hashtbl.replace remap old fresh) kept_indices;
+  let problem =
+    {
+      p with
+      Problem.tuples =
+        Array.of_list (List.map (fun i -> p.Problem.tuples.(i)) kept_indices);
+      covers =
+        Array.map
+          (fun cover_list ->
+            Array.map (fun (ti, d) -> (Hashtbl.find remap ti, d)) cover_list)
+          p.Problem.covers;
+    }
+  in
+  let constant =
+    Frac.of_int (p.Problem.weights.Problem.w_unexplained * List.length removed)
+  in
+  { problem; constant; removed_tuples = removed }
+
+let full_value r sel = Frac.add (Objective.value r.problem sel) r.constant

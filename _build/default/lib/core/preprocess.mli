@@ -1,0 +1,19 @@
+(** Preprocessing (Section III-C of the paper).
+
+    Target tuples that no candidate covers contribute a constant
+    [w1·(1 − 0) = w1] to the objective whatever the selection is; they can be
+    removed before optimisation and their total added back to reported
+    values. This shrinks the ground model the solvers work on. *)
+
+type reduced = {
+  problem : Problem.t;  (** the problem restricted to coverable tuples *)
+  constant : Util.Frac.t;
+      (** objective mass of the removed certainly-unexplained tuples *)
+  removed_tuples : Relational.Tuple.t list;
+}
+
+val run : Problem.t -> reduced
+
+val full_value : reduced -> bool array -> Util.Frac.t
+(** The objective of a selection on the original problem:
+    [Objective.value reduced.problem sel + reduced.constant]. *)

@@ -1,0 +1,89 @@
+open Relational
+open Util
+
+type weights = {
+  w_unexplained : int;
+  w_errors : int;
+  w_size : int;
+}
+
+let default_weights = { w_unexplained = 1; w_errors = 1; w_size = 1 }
+
+type t = {
+  candidates : Logic.Tgd.t array;
+  stats : Cover.tgd_stats array;
+  tuples : Tuple.t array;
+  covers : (int * Frac.t) array array;
+  cand_cost : Frac.t array;
+  weights : weights;
+}
+
+let check_weights w =
+  if w.w_unexplained <= 0 || w.w_errors <= 0 || w.w_size <= 0 then
+    invalid_arg "Problem: weights must be positive"
+
+let of_stats ?(weights = default_weights) ~j stats =
+  check_weights weights;
+  let tuples = Array.of_list (Instance.tuples j) in
+  let tuple_index = Hashtbl.create (Array.length tuples) in
+  Array.iteri (fun i t -> Hashtbl.replace tuple_index t i) tuples;
+  let covers =
+    Array.map
+      (fun s ->
+        Tuple.Map.fold
+          (fun t d acc ->
+            match Hashtbl.find_opt tuple_index t with
+            | Some i -> (i, d) :: acc
+            | None -> acc)
+          s.Cover.covers []
+        |> List.rev |> Array.of_list)
+      stats
+  in
+  let cand_cost =
+    Array.map
+      (fun s ->
+        Frac.of_int
+          ((weights.w_errors * Cover.error_count s)
+          + (weights.w_size * s.Cover.size)))
+      stats
+  in
+  {
+    candidates = Array.map (fun s -> s.Cover.tgd) stats;
+    stats;
+    tuples;
+    covers;
+    cand_cost;
+    weights;
+  }
+
+let with_weights t weights =
+  check_weights weights;
+  let cand_cost =
+    Array.map
+      (fun s ->
+        Frac.of_int
+          ((weights.w_errors * Cover.error_count s) + (weights.w_size * s.Cover.size)))
+      t.stats
+  in
+  { t with cand_cost; weights }
+
+let make ?weights ?semantics ~source ~j candidates =
+  of_stats ?weights ~j (Cover.analyze ?semantics ~source ~j candidates)
+
+let num_candidates t = Array.length t.candidates
+
+let num_tuples t = Array.length t.tuples
+
+let selection_of_indices t indices =
+  let sel = Array.make (num_candidates t) false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length sel then
+        invalid_arg "Problem.selection_of_indices: index out of range";
+      sel.(i) <- true)
+    indices;
+  sel
+
+let indices_of_selection sel =
+  Array.to_list (Array.mapi (fun i b -> (i, b)) sel)
+  |> List.filter_map (fun (i, b) -> if b then Some i else None)

@@ -1,0 +1,63 @@
+(** A mapping-selection problem instance, precomputed for fast objective
+    evaluation.
+
+    Construction chases the source instance once per candidate and computes
+    the Eq. 9 coverage/error statistics ({!Cover.analyze}); afterwards every
+    objective evaluation is a cheap pass over the precomputed degrees. The
+    weighted objective of the appendix is supported through the positive
+    integer weights [(w1, w2, w3)] on coverage, errors and size; the paper's
+    Eq. 9 is [(1, 1, 1)]. *)
+
+type weights = {
+  w_unexplained : int;  (** w1: per unit of unexplained target tuple *)
+  w_errors : int;  (** w2: per error tuple *)
+  w_size : int;  (** w3: per unit of tgd size *)
+}
+
+val default_weights : weights
+(** [(1, 1, 1)] — the unweighted objective of Eq. 9. *)
+
+type t = {
+  candidates : Logic.Tgd.t array;
+  stats : Cover.tgd_stats array;  (** aligned with [candidates] *)
+  tuples : Relational.Tuple.t array;  (** the target tuples of [J] *)
+  covers : (int * Util.Frac.t) array array;
+      (** per candidate: (tuple index, coverage degree), positive degrees
+          only *)
+  cand_cost : Util.Frac.t array;
+      (** per candidate: [w2·errors + w3·size] — its selection cost *)
+  weights : weights;
+}
+
+val make :
+  ?weights : weights ->
+  ?semantics : Cover.semantics ->
+  source : Relational.Instance.t ->
+  j : Relational.Instance.t ->
+  Logic.Tgd.t list ->
+  t
+(** Builds the problem from a data example and candidate list. [semantics]
+    selects the coverage semantics (default the paper's corroborated Eq. 9;
+    the others are ablation variants). Raises [Invalid_argument] on
+    non-positive weights. *)
+
+val of_stats :
+  ?weights : weights ->
+  j : Relational.Instance.t ->
+  Cover.tgd_stats array ->
+  t
+(** Builds the problem from precomputed statistics (e.g. to avoid re-chasing
+    when several solvers share one analysis). *)
+
+val with_weights : t -> weights -> t
+(** The same problem under different weights — the coverage degrees are
+    weight-independent, so only the candidate costs are recomputed. Raises
+    [Invalid_argument] on non-positive weights. *)
+
+val num_candidates : t -> int
+
+val num_tuples : t -> int
+
+val selection_of_indices : t -> int list -> bool array
+
+val indices_of_selection : bool array -> int list

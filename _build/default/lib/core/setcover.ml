@@ -1,0 +1,86 @@
+open Relational
+open Logic
+open Util
+
+type instance = {
+  universe : string list;
+  sets : (string * string list) list;
+  budget : int;
+}
+
+let validate inst =
+  if inst.budget <= 0 then Error "budget must be positive"
+  else if inst.sets = [] then Error "no sets"
+  else
+    let u = List.sort_uniq String.compare inst.universe in
+    let bad =
+      List.concat_map
+        (fun (name, elems) ->
+          List.filter_map
+            (fun e ->
+              if List.mem e u then None else Some (name ^ " contains " ^ e))
+            elems)
+        inst.sets
+    in
+    match bad with [] -> Ok () | msg :: _ -> Error (msg ^ " outside the universe")
+
+type reduction = {
+  problem : Problem.t;
+  m : int;
+  set_names : string array;
+}
+
+let reduce inst =
+  (match validate inst with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Setcover.reduce: " ^ msg));
+  let universe = List.sort_uniq String.compare inst.universe in
+  let m = 2 * inst.budget in
+  let domain = List.init (m + 1) (fun i -> string_of_int (i + 1)) in
+  let instance_i =
+    Instance.of_tuples
+      (List.concat_map
+         (fun (name, elems) ->
+           List.concat_map
+             (fun x -> List.map (fun y -> Tuple.of_consts name [ x; y ]) domain)
+             (List.sort_uniq String.compare elems))
+         inst.sets)
+  in
+  let j =
+    Instance.of_tuples
+      (List.concat_map
+         (fun x -> List.map (fun y -> Tuple.of_consts "U" [ x; y ]) domain)
+         universe)
+  in
+  let candidates =
+    List.map
+      (fun (name, _) ->
+        Tgd.make ~label:("select_" ^ name)
+          ~body:[ Atom.make name [ Term.Var "X"; Term.Var "Y" ] ]
+          ~head:[ Atom.make "U" [ Term.Var "X"; Term.Var "Y" ] ]
+          ())
+      inst.sets
+  in
+  let problem = Problem.make ~source:instance_i ~j candidates in
+  { problem; m; set_names = Array.of_list (List.map fst inst.sets) }
+
+let closed_form inst ~selected =
+  let universe = List.sort_uniq String.compare inst.universe in
+  let m = 2 * inst.budget in
+  let covered =
+    List.concat_map
+      (fun (name, elems) -> if List.mem name selected then elems else [])
+      inst.sets
+    |> List.sort_uniq String.compare
+  in
+  Frac.of_int
+    (((m + 1) * (List.length universe - List.length covered))
+    + (2 * List.length selected))
+
+let cover_of_selection red sel =
+  Problem.indices_of_selection sel |> List.map (fun i -> red.set_names.(i))
+
+let decide inst =
+  let red = reduce inst in
+  let sel = Exact.solve ~max_candidates:20 red.problem in
+  Frac.(Objective.value red.problem sel <= Frac.of_int red.m)

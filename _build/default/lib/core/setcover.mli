@@ -1,0 +1,40 @@
+(** The SET COVER reduction of Theorem 1 (NP-hardness of mapping selection).
+
+    A SET COVER instance [(U, R, n)] is turned into a mapping-selection
+    instance with [m = 2n], auxiliary domain [D = {1, ..., m+1}], source
+    relations [Ri/2], a single target relation [U/2], candidates
+    [Ri(X,Y) → U(X,Y)], [I = ∪ Ri × D] and [J = U × D]. A selection [M]
+    then has objective
+
+    {v  F(M) = (m+1) · (|U| − |∪_{θi ∈ M} Ri|) + 2·|M|  v}
+
+    so a cover of size ≤ n exists iff the optimum is ≤ m. *)
+
+type instance = {
+  universe : string list;  (** U; duplicates are ignored *)
+  sets : (string * string list) list;  (** named subsets Ri ⊆ U *)
+  budget : int;  (** n *)
+}
+
+val validate : instance -> (unit, string) result
+(** Every set must be a subset of the universe and the budget positive. *)
+
+type reduction = {
+  problem : Problem.t;
+  m : int;  (** the decision threshold [2·budget] *)
+  set_names : string array;  (** candidate index → set name *)
+}
+
+val reduce : instance -> reduction
+(** Raises [Invalid_argument] if {!validate} fails. *)
+
+val closed_form : instance -> selected : string list -> Util.Frac.t
+(** The objective value predicted by the proof for a selection of sets. *)
+
+val decide : instance -> bool
+(** Does a cover with at most [budget] sets exist? Decided by solving the
+    constructed mapping-selection problem exactly — exponential in the
+    number of sets, as the reduction promises nothing better. *)
+
+val cover_of_selection : reduction -> bool array -> string list
+(** Names of the sets a selection picks. *)

@@ -1,0 +1,39 @@
+let default_grid =
+  (* (1,1,1) first so that ties keep the paper's default *)
+  let axis = [ 1; 2; 4 ] in
+  List.concat_map
+    (fun w1 ->
+      List.concat_map
+        (fun w2 -> List.map (fun w3 -> (w1, w2, w3)) axis)
+        axis)
+    axis
+
+let score p ~gold weights =
+  let r = Cmd.solve (Problem.with_weights p weights) in
+  let agreements = ref 0 in
+  Array.iteri
+    (fun i b -> if b = gold.(i) then incr agreements)
+    r.Cmd.selection;
+  !agreements
+
+let grid_search ?(grid = default_grid) ~training () =
+  if training = [] then invalid_arg "Tune.grid_search: empty training set";
+  if grid = [] then invalid_arg "Tune.grid_search: empty grid";
+  let best = ref None in
+  List.iter
+    (fun (w1, w2, w3) ->
+      let weights =
+        { Problem.w_unexplained = w1; w_errors = w2; w_size = w3 }
+      in
+      let total =
+        List.fold_left
+          (fun acc (p, gold) -> acc + score p ~gold weights)
+          0 training
+      in
+      match !best with
+      | Some (_, best_total) when best_total >= total -> ()
+      | Some _ | None -> best := Some (weights, total))
+    grid;
+  match !best with
+  | Some (weights, _) -> weights
+  | None -> assert false

@@ -1,0 +1,25 @@
+(** Calibrating the objective weights from labelled scenarios.
+
+    The appendix's weighted objective leaves [(w1, w2, w3)] open; when
+    scenarios with known gold selections are available (e.g. generated ones
+    whose MG is known), the weights can be tuned to them. This module does
+    the simple, robust thing: grid search, scoring a weight triple by the
+    number of per-candidate agreements between CMD's selection and the gold
+    selection, summed over the training problems. *)
+
+val default_grid : (int * int * int) list
+(** The cross product of {1, 2, 4} per weight, 27 triples. *)
+
+val score :
+  Problem.t -> gold : bool array -> Problem.weights -> int
+(** Agreements (Hamming similarity) between [Cmd.solve]'s selection under
+    the given weights and [gold]. *)
+
+val grid_search :
+  ?grid : (int * int * int) list ->
+  training : (Problem.t * bool array) list ->
+  unit ->
+  Problem.weights
+(** The best-scoring weights on the training set; ties break towards the
+    earlier grid entry, and the default grid puts [(1,1,1)] first. Raises
+    [Invalid_argument] on an empty training set or grid. *)

@@ -1,0 +1,195 @@
+open Relational
+open Logic
+open Util
+
+type semantics =
+  | Corroborated
+  | Strict
+  | Generous
+
+type tgd_stats = {
+  index : int;
+  tgd : Tgd.t;
+  covers : Frac.t Tuple.Map.t;
+  error_tuples : Tuple.t list;
+  produced : int;
+  size : int;
+}
+
+let covers stats t =
+  match Tuple.Map.find_opt t stats.covers with None -> Frac.zero | Some d -> d
+
+let error_count stats = List.length stats.error_tuples
+
+let covered_targets stats = Tuple.Map.bindings stats.covers |> List.map fst
+
+(* --- tuple pattern matching ------------------------------------------- *)
+
+(* Extend a null assignment so that [pattern] maps onto the ground tuple
+   [t]; [None] on conflict. *)
+let match_with ~assignment ~(pattern : Tuple.t) (t : Tuple.t) =
+  if not (String.equal pattern.Tuple.rel t.Tuple.rel) then None
+  else if Array.length pattern.values <> Array.length t.values then None
+  else
+    let n = Array.length pattern.values in
+    let rec loop i asg =
+      if i >= n then Some asg
+      else
+        match pattern.values.(i) with
+        | Value.Const _ as c ->
+          if Value.equal c t.values.(i) then loop (i + 1) asg else None
+        | Value.Null _ as nul -> (
+          match Value.Map.find_opt nul asg with
+          | Some bound ->
+            if Value.equal bound t.values.(i) then loop (i + 1) asg else None
+          | None -> loop (i + 1) (Value.Map.add nul t.values.(i) asg))
+    in
+    loop 0 assignment
+
+let matches ~pattern t =
+  match match_with ~assignment:Value.Map.empty ~pattern t with
+  | Some _ -> true
+  | None -> false
+
+let maps_into pattern inst =
+  Tuple.Set.exists (fun t -> matches ~pattern t) (Instance.tuples_of inst pattern.Tuple.rel)
+
+(* --- per-trigger-group analysis --------------------------------------- *)
+
+(* All J-tuples a group tuple can individually map onto, with the null
+   assignment each match induces. *)
+let options_of ~j (pattern : Tuple.t) =
+  Tuple.Set.fold
+    (fun t acc ->
+      match match_with ~assignment:Value.Map.empty ~pattern t with
+      | None -> acc
+      | Some asg -> (t, asg) :: acc)
+    (Instance.tuples_of j pattern.Tuple.rel)
+    []
+  |> List.rev
+
+(* Merge two null assignments; [None] on conflict. *)
+let merge_assignments a b =
+  Value.Map.fold
+    (fun k v acc ->
+      match acc with
+      | None -> None
+      | Some m -> (
+        match Value.Map.find_opt k m with
+        | None -> Some (Value.Map.add k v m)
+        | Some v' -> if Value.equal v v' then acc else None))
+    b (Some a)
+
+(* Degree to which group-tuple [i] covers its image, given which group
+   tuples are matched in the current configuration. *)
+let degree_of ~semantics ~group ~matched i =
+  let pattern = group.(i) in
+  let arity = Array.length pattern.Tuple.values in
+  let corroborated nul =
+    let contains_null (t : Tuple.t) = Array.exists (Value.equal nul) t.Tuple.values in
+    List.exists (fun k -> k <> i && contains_null group.(k)) matched
+  in
+  let null_counts v =
+    match semantics with
+    | Corroborated -> corroborated v
+    | Strict -> false
+    | Generous -> true
+  in
+  let covered =
+    Array.fold_left
+      (fun n v ->
+        match v with
+        | Value.Const _ -> n + 1
+        | Value.Null _ -> if null_counts v then n + 1 else n)
+      0 pattern.Tuple.values
+  in
+  Frac.make covered arity
+
+(* Enumerate all consistent configurations of one trigger group and fold the
+   per-target-tuple maximum coverage into [acc]. A configuration assigns each
+   group tuple either to a J-tuple (consistently with the shared nulls) or to
+   "unmatched". *)
+let fold_group_covers ~semantics ~j group acc =
+  let n = Array.length group in
+  let options = Array.map (fun pattern -> options_of ~j pattern) group in
+  let best : (Tuple.t * Frac.t) list ref = ref [] in
+  let record t d =
+    best := (t, d) :: !best
+  in
+  (* choices.(i) = Some (j_tuple) if matched *)
+  let choices = Array.make n None in
+  let rec explore i assignment =
+    if i >= n then begin
+      let matched =
+        List.filter (fun k -> choices.(k) <> None) (List.init n Fun.id)
+      in
+      List.iter
+        (fun k ->
+          match choices.(k) with
+          | None -> ()
+          | Some t -> record t (degree_of ~semantics ~group ~matched k))
+        matched
+    end
+    else begin
+      choices.(i) <- None;
+      explore (i + 1) assignment;
+      List.iter
+        (fun (t, asg) ->
+          match merge_assignments assignment asg with
+          | None -> ()
+          | Some merged ->
+            choices.(i) <- Some t;
+            explore (i + 1) merged;
+            choices.(i) <- None)
+        options.(i)
+    end
+  in
+  explore 0 Value.Map.empty;
+  List.fold_left
+    (fun acc (t, d) ->
+      if Frac.is_zero d then acc
+      else
+        Tuple.Map.update t
+          (function
+            | None -> Some d
+            | Some d' -> Some (Frac.max d d'))
+          acc)
+    acc !best
+
+let stats_of_triggers ?(semantics = Corroborated) ~j ~index tgd triggers =
+  let covers, errors, produced =
+    List.fold_left
+      (fun (covers, errors, produced) (tr : Chase.Trigger.t) ->
+        let group = Array.of_list tr.Chase.Trigger.tuples in
+        let covers = fold_group_covers ~semantics ~j group covers in
+        let errors =
+          Array.fold_left
+            (fun errs pattern ->
+              if maps_into pattern j then errs else pattern :: errs)
+            errors group
+        in
+        (covers, errors, produced + Array.length group))
+      (Tuple.Map.empty, [], 0)
+      triggers
+  in
+  { index; tgd; covers; error_tuples = List.rev errors; produced; size = Tgd.size tgd }
+
+let analyze ?semantics ~source ~j tgds =
+  let source_index = Logic.Cq.Index.build source in
+  let stats_of index tgd =
+    let { Chase.triggers; _ } = Chase.run ~index:source_index source [ tgd ] in
+    stats_of_triggers ?semantics ~j ~index tgd triggers
+  in
+  Array.of_list (List.mapi stats_of tgds)
+
+let explains stats t =
+  List.fold_left (fun acc s -> Frac.max acc (covers s t)) Frac.zero stats
+
+let uncovered_targets stats j =
+  Instance.fold
+    (fun t acc ->
+      let covered =
+        Array.exists (fun s -> not (Frac.is_zero (covers s t))) stats
+      in
+      if covered then acc else Tuple.Set.add t acc)
+    j Tuple.Set.empty

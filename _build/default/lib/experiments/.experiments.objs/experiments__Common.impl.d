@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Core Frac Ibench List Metrics Option Printf Stats Timer Util

@@ -1,0 +1,1 @@
+lib/experiments/e10_rounding.ml: Common Core E2_parameters Frac Ibench List Metrics Stats Table Util

@@ -1,0 +1,1 @@
+lib/experiments/e11_semantics.ml: Array Common Core Cover E1_appendix_example E2_parameters Ibench List Metrics Relational Table Util

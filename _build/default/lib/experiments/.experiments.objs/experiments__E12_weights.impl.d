@@ -1,0 +1,1 @@
+lib/experiments/e12_weights.ml: Array Common Core Ibench List Metrics Printf Table Util

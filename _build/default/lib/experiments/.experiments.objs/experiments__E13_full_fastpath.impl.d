@@ -1,0 +1,1 @@
+lib/experiments/e13_full_fastpath.ml: Common Core Frac Ibench List Table Timer Util

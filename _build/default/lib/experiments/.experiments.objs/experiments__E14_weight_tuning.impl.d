@@ -1,0 +1,1 @@
+lib/experiments/e14_weight_tuning.ml: Common Core Ibench List Metrics Printf String Table Util

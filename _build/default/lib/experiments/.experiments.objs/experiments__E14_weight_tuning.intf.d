@@ -1,0 +1,1 @@
+lib/experiments/e14_weight_tuning.mli: Table

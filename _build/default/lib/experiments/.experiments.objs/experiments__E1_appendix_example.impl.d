@@ -1,0 +1,1 @@
+lib/experiments/e1_appendix_example.ml: Atom Core Frac Fun Instance List Logic Printf Relational String Table Term Tgd Tuple Util

@@ -1,0 +1,1 @@
+lib/experiments/e1_appendix_example.mli: Logic Relational Table Util

@@ -1,0 +1,1 @@
+lib/experiments/e2_parameters.ml: Ibench List Printf String Table

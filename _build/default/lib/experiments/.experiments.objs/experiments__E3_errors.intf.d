@@ -1,0 +1,1 @@
+lib/experiments/e3_errors.mli: Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_scaling.ml: Common Core Ibench List Table Timer Util

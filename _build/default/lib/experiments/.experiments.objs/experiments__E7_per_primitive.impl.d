@@ -1,0 +1,1 @@
+lib/experiments/e7_per_primitive.ml: Common E2_parameters Ibench List Metrics Table Util

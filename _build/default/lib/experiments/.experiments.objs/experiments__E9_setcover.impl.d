@@ -1,0 +1,1 @@
+lib/experiments/e9_setcover.ml: Core Frac Fun List Printf Random String Table Util

@@ -1,0 +1,1 @@
+lib/experiments/noise_sweep.ml: Common E2_parameters Ibench List Metrics Printf Table Util

@@ -1,0 +1,1 @@
+lib/experiments/noise_sweep.mli: Common Table

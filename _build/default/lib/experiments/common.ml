@@ -1,0 +1,72 @@
+open Util
+
+type solver =
+  | Cmd_solver
+  | Greedy_solver
+  | All_candidates
+  | Exact_solver
+
+let solver_name = function
+  | Cmd_solver -> "CMD"
+  | Greedy_solver -> "greedy"
+  | All_candidates -> "all"
+  | Exact_solver -> "exact"
+
+let problem_of_scenario (s : Ibench.Scenario.t) =
+  Core.Problem.make ~source:s.Ibench.Scenario.instance_i
+    ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
+
+type outcome = {
+  selection : bool array;
+  objective : Frac.t;
+  mapping : Metrics.scores;
+  tuples : Metrics.scores;
+  runtime_ms : float;
+}
+
+let run_solver solver (s : Ibench.Scenario.t) problem =
+  let solve () =
+    match solver with
+    | Cmd_solver -> (Core.Cmd.solve problem).Core.Cmd.selection
+    | Greedy_solver -> Core.Greedy.solve problem
+    | All_candidates -> Array.make (Core.Problem.num_candidates problem) true
+    | Exact_solver -> Core.Exact.solve problem
+  in
+  let selection, runtime_ms = Timer.time_ms solve in
+  {
+    selection;
+    objective = Core.Objective.value problem selection;
+    mapping =
+      Metrics.mapping_level ~candidates:s.Ibench.Scenario.candidates
+        ~truth:s.Ibench.Scenario.ground_truth selection;
+    tuples = Metrics.tuple_level problem selection;
+    runtime_ms;
+  }
+
+let noise_config ?(rows = 15) ?primitives ~seed ~pi_corresp ~pi_errors
+    ~pi_unexplained () =
+  let base = Ibench.Config.default in
+  {
+    base with
+    Ibench.Config.primitives =
+      Option.value
+        ~default:base.Ibench.Config.primitives
+        primitives;
+    rows_per_relation = rows;
+    pi_corresp;
+    pi_errors;
+    pi_unexplained;
+    seed;
+  }
+
+let fmt_f v = Printf.sprintf "%.2f" v
+
+let fmt_ms v = Printf.sprintf "%.1f" v
+
+let average f ~seeds =
+  let scores = List.map f seeds in
+  {
+    Metrics.precision = Stats.fmean (fun s -> s.Metrics.precision) scores;
+    recall = Stats.fmean (fun s -> s.Metrics.recall) scores;
+    f1 = Stats.fmean (fun s -> s.Metrics.f1) scores;
+  }

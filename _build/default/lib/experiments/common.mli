@@ -1,0 +1,47 @@
+(** Shared plumbing for the experiments: scenario → problem conversion,
+    solver invocation and metric aggregation. *)
+
+type solver =
+  | Cmd_solver  (** the paper's approach *)
+  | Greedy_solver  (** the non-collective baseline *)
+  | All_candidates  (** select everything Clio proposed *)
+  | Exact_solver  (** branch and bound (small problems only) *)
+
+val solver_name : solver -> string
+
+val problem_of_scenario : Ibench.Scenario.t -> Core.Problem.t
+(** Chases the source instance per candidate and precomputes degrees. *)
+
+type outcome = {
+  selection : bool array;
+  objective : Util.Frac.t;
+  mapping : Metrics.scores;  (** selected tgds vs MG *)
+  tuples : Metrics.scores;  (** data quality of the selection *)
+  runtime_ms : float;
+}
+
+val run_solver :
+  solver -> Ibench.Scenario.t -> Core.Problem.t -> outcome
+(** Runs one solver; [runtime_ms] covers only the solve, not the
+    precomputation. *)
+
+val noise_config :
+  ?rows : int ->
+  ?primitives : (Ibench.Primitive.kind * int) list ->
+  seed : int ->
+  pi_corresp : int ->
+  pi_errors : int ->
+  pi_unexplained : int ->
+  unit ->
+  Ibench.Config.t
+(** The standard experiment configuration: all seven primitives once, 8 rows
+    per relation, unless overridden. *)
+
+val fmt_f : float -> string
+(** Two decimals. *)
+
+val fmt_ms : float -> string
+(** Milliseconds with one decimal. *)
+
+val average : (int -> Metrics.scores) -> seeds : int list -> Metrics.scores
+(** Component-wise mean over seeds. *)

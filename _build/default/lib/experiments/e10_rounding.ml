@@ -1,0 +1,56 @@
+open Util
+
+let variants =
+  [
+    ("conditional+repair", { Core.Cmd.default_options with Core.Cmd.repair = true });
+    ("conditional", { Core.Cmd.default_options with Core.Cmd.repair = false });
+    ( "threshold 0.5",
+      { Core.Cmd.default_options with Core.Cmd.rounding = Core.Cmd.Threshold 0.5; repair = false } );
+    ( "threshold 0.5+repair",
+      { Core.Cmd.default_options with Core.Cmd.rounding = Core.Cmd.Threshold 0.5; repair = true } );
+    ( "threshold 0.9",
+      { Core.Cmd.default_options with Core.Cmd.rounding = Core.Cmd.Threshold 0.9; repair = false } );
+    ( "squared potentials",
+      { Core.Cmd.default_options with Core.Cmd.squared = true } );
+  ]
+
+let run ?(seeds = E2_parameters.seeds) () =
+  let scenarios =
+    List.map
+      (fun seed ->
+        let s =
+          Ibench.Generator.generate
+            (Common.noise_config ~seed ~pi_corresp:50 ~pi_errors:25
+               ~pi_unexplained:25 ())
+        in
+        (s, Common.problem_of_scenario s))
+      seeds
+  in
+  let rows =
+    List.map
+      (fun (name, options) ->
+        let objectives, f1s =
+          List.split
+            (List.map
+               (fun (s, p) ->
+                 let r = Core.Cmd.solve ~options p in
+                 let f1 =
+                   (Metrics.mapping_level
+                      ~candidates:s.Ibench.Scenario.candidates
+                      ~truth:s.Ibench.Scenario.ground_truth r.Core.Cmd.selection)
+                     .Metrics.f1
+                 in
+                 (Frac.to_float r.Core.Cmd.objective, f1))
+               scenarios)
+        in
+        [
+          name;
+          Common.fmt_f (Stats.mean objectives);
+          Common.fmt_f (Stats.mean f1s);
+        ])
+      variants
+  in
+  Table.make ~id:"E10" ~title:"ablation: rounding strategy of CMD"
+    ~header:[ "rounding"; "mean objective"; "mean map-F1" ]
+    ~notes:[ "noise: piCorresp 50%, piErrors 25%, piUnexplained 25%; lower objective is better" ]
+    rows

@@ -1,0 +1,7 @@
+(** E10 — ablation: CMD's rounding strategy.
+
+    DESIGN.md calls out conditional rounding + repair as a design choice;
+    this ablation compares it against plain threshold rounding and against
+    dropping the repair pass, on noisy scenarios. *)
+
+val run : ?seeds : int list -> unit -> Table.t

@@ -1,0 +1,11 @@
+(** E11 — ablation: the coverage semantics of Eq. 9.
+
+    The corroboration rule (an invented value only counts when a sibling
+    tuple of the trigger group confirms it in [J]) is what makes join
+    candidates preferable to their projections. This ablation compares the
+    paper's semantics against the strict (nulls never count) and generous
+    (nulls always count) variants — both on the appendix example, where only
+    the corroborated semantics reproduces the published degrees, and on
+    noisy scenarios. *)
+
+val run : ?seeds : int list -> unit -> Table.t

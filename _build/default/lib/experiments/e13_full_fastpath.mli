@@ -1,0 +1,9 @@
+(** E13 — extension: the Eq. 4 fast path on full-tgd scenarios.
+
+    Scenarios built from CP/DL primitives only have exclusively full
+    candidates, so Eq. 9 degenerates to Eq. 4 and the bitset-based
+    specialised solvers apply. The table checks that the specialised and
+    general solvers agree on the objective and compares their wall-clock
+    time as the scenario grows. *)
+
+val run : ?blocks : int list -> ?seed : int -> unit -> Table.t

@@ -1,0 +1,51 @@
+let scenario_problem seed =
+  let s =
+    Ibench.Generator.generate
+      (Common.noise_config ~seed ~pi_corresp:50 ~pi_errors:25 ~pi_unexplained:25 ())
+  in
+  let p = Common.problem_of_scenario s in
+  let gold =
+    Core.Problem.selection_of_indices p s.Ibench.Scenario.ground_truth_indices
+  in
+  (s, p, gold)
+
+let eval weights seeds =
+  Util.Stats.mean
+    (List.map
+       (fun seed ->
+         let s, p, _ = scenario_problem seed in
+         let r = Core.Cmd.solve (Core.Problem.with_weights p weights) in
+         (Metrics.mapping_level ~candidates:s.Ibench.Scenario.candidates
+            ~truth:s.Ibench.Scenario.ground_truth r.Core.Cmd.selection)
+           .Metrics.f1)
+       seeds)
+
+let run ?(train_seeds = [ 1; 2 ]) ?(test_seeds = [ 3; 4; 5 ]) () =
+  let training =
+    List.map
+      (fun seed ->
+        let _, p, gold = scenario_problem seed in
+        (p, gold))
+      train_seeds
+  in
+  let tuned = Core.Tune.grid_search ~training () in
+  let default = Core.Problem.default_weights in
+  let row name (w : Core.Problem.weights) =
+    [
+      name;
+      Printf.sprintf "(%d,%d,%d)" w.Core.Problem.w_unexplained
+        w.Core.Problem.w_errors w.Core.Problem.w_size;
+      Common.fmt_f (eval w train_seeds);
+      Common.fmt_f (eval w test_seeds);
+    ]
+  in
+  Table.make ~id:"E14" ~title:"weight calibration on labelled scenarios"
+    ~header:[ "weights"; "(w1,w2,w3)"; "train map-F1"; "test map-F1" ]
+    ~notes:
+      [
+        Printf.sprintf "grid-searched on seeds {%s}, evaluated on seeds {%s}"
+          (String.concat "," (List.map string_of_int train_seeds))
+          (String.concat "," (List.map string_of_int test_seeds));
+        "noise: piCorresp 50%, piErrors 25%, piUnexplained 25%";
+      ]
+    [ row "default" default; row "tuned" tuned ]

@@ -1,0 +1,7 @@
+(** E14 — extension: calibrating the objective weights on labelled scenarios.
+
+    The weights are grid-searched against the gold selections of training
+    scenarios ({!Core.Tune}) and evaluated on held-out scenarios under the
+    same noise profile, against the paper's default (1,1,1). *)
+
+val run : ?train_seeds : int list -> ?test_seeds : int list -> unit -> Table.t

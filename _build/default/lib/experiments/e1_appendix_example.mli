@@ -1,0 +1,18 @@
+(** E1 — the appendix's worked example (its objective table, reproduced
+    exactly), plus the preference flip after adding five ML-like projects. *)
+
+val run : unit -> Table.t
+
+val appendix_values : unit -> (string * Util.Frac.t) list
+(** The four objective values [({}, 4); ({θ1}, 7 1/3); ...] as computed by
+    the library — the gold numbers the tests pin down. *)
+
+(** The reconstructed example itself, reused by the ablations. *)
+
+val instance_i : Relational.Instance.t
+
+val instance_j : Relational.Instance.t
+
+val theta1 : Logic.Tgd.t
+
+val theta3 : Logic.Tgd.t

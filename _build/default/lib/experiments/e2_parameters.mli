@@ -1,0 +1,10 @@
+(** E2 — Table I: the scenario-generation parameter space used by the
+    experiment suite. *)
+
+val noise_levels : int list
+(** The sweep grid shared by E3–E5: [0; 10; 25; 50]. *)
+
+val seeds : int list
+(** Seeds every averaged experiment uses: [1..5]. *)
+
+val run : unit -> Table.t

@@ -1,0 +1,1 @@
+let run () = Noise_sweep.run ~id:"E3" Noise_sweep.Errors

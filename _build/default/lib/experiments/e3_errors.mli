@@ -1,0 +1,3 @@
+(** E3 — figure: selection quality as piErrors grows. *)
+
+val run : unit -> Table.t

@@ -1,0 +1,1 @@
+let run () = Noise_sweep.run ~id:"E4" Noise_sweep.Unexplained

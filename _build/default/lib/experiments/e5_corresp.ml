@@ -1,0 +1,1 @@
+let run () = Noise_sweep.run ~id:"E5" Noise_sweep.Corresp

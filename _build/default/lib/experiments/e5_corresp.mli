@@ -1,0 +1,3 @@
+(** E5 — figure: selection quality as piCorresp grows (spurious metadata). *)
+
+val run : unit -> Table.t

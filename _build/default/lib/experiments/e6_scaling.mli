@@ -1,0 +1,11 @@
+(** E6 — figure: runtime scaling with scenario size.
+
+    Scenarios grow by adding whole primitive-mix blocks (one instance of each
+    of the seven primitives per block). For each size the table reports the
+    candidate count, the ground model size, and wall-clock times of the
+    precomputation (chase + degrees), CMD (ADMM + rounding) and exact branch
+    and bound (skipped beyond 20 candidates, where it blows up — that is the
+    point of the figure). *)
+
+val run : ?blocks : int list -> ?seed : int -> unit -> Table.t
+(** Default blocks: [1; 2; 4; 8; 16]. *)

@@ -1,0 +1,35 @@
+let run ?(seeds = E2_parameters.seeds) () =
+  let rows =
+    List.map
+      (fun kind ->
+        let per_seed =
+          List.map
+            (fun seed ->
+              (* 40 rows: enough data that even the low-coverage ADD/ADL
+                 primitives (whose invented-value positions never count as
+                 covered) are worth their size under Eq. 9 *)
+              let config =
+                Common.noise_config ~rows:40
+                  ~primitives:[ (kind, 2) ]
+                  ~seed ~pi_corresp:25 ~pi_errors:25 ~pi_unexplained:25 ()
+              in
+              let s = Ibench.Generator.generate config in
+              let p = Common.problem_of_scenario s in
+              ( Common.run_solver Common.Cmd_solver s p,
+                Common.run_solver Common.Greedy_solver s p ))
+            seeds
+        in
+        let avg pick = Util.Stats.fmean pick per_seed in
+        [
+          Ibench.Primitive.to_string kind;
+          Common.fmt_f (avg (fun (c, _) -> c.Common.mapping.Metrics.f1));
+          Common.fmt_f (avg (fun (c, _) -> c.Common.tuples.Metrics.f1));
+          Common.fmt_f (avg (fun (_, g) -> g.Common.mapping.Metrics.f1));
+          Common.fmt_f (avg (fun (_, g) -> g.Common.tuples.Metrics.f1));
+        ])
+      Ibench.Primitive.all
+  in
+  Table.make ~id:"E7"
+    ~title:"selection quality per primitive (25/25/25 noise, 2 instances)"
+    ~header:[ "primitive"; "CMD map-F1"; "CMD tup-F1"; "greedy map-F1"; "greedy tup-F1" ]
+    rows

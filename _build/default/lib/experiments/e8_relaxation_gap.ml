@@ -1,0 +1,46 @@
+open Util
+
+let run ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) () =
+  let primitives = Ibench.Primitive.[ (CP, 1); (ME, 1); (VP, 1) ] in
+  let results =
+    List.filter_map
+      (fun seed ->
+        let config =
+          Common.noise_config ~primitives ~seed ~pi_corresp:50 ~pi_errors:25
+            ~pi_unexplained:25 ()
+        in
+        let s = Ibench.Generator.generate config in
+        let p = Common.problem_of_scenario s in
+        if Core.Problem.num_candidates p > 18 then None
+        else
+          let opt = Core.Objective.value p (Core.Exact.solve p) in
+          let cmd = (Core.Cmd.solve p).Core.Cmd.objective in
+          let greedy = Core.Objective.value p (Core.Greedy.solve p) in
+          Some (seed, Core.Problem.num_candidates p, opt, cmd, greedy))
+      seeds
+  in
+  let rows =
+    List.map
+      (fun (seed, m, opt, cmd, greedy) ->
+        [
+          string_of_int seed;
+          string_of_int m;
+          Frac.to_string opt;
+          Frac.to_string cmd;
+          Frac.to_string greedy;
+          (if Frac.equal opt cmd then "yes" else "no");
+        ])
+      results
+  in
+  let hits =
+    List.length (List.filter (fun (_, _, opt, cmd, _) -> Frac.equal opt cmd) results)
+  in
+  Table.make ~id:"E8" ~title:"CMD vs exact optimum on small scenarios"
+    ~header:[ "seed"; "candidates"; "exact F"; "CMD F"; "greedy F"; "CMD optimal?" ]
+    ~notes:
+      [
+        Printf.sprintf "CMD attains the exact optimum on %d of %d scenarios"
+          hits (List.length results);
+        "noise: piCorresp 50%, piErrors 25%, piUnexplained 25%";
+      ]
+    rows

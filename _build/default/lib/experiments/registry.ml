@@ -1,0 +1,30 @@
+let all =
+  [
+    ("E1", "appendix worked example: the Eq. 9 objective table",
+     E1_appendix_example.run);
+    ("E2", "Table I: scenario generation parameters", E2_parameters.run);
+    ("E3", "figure: quality vs piErrors", E3_errors.run);
+    ("E4", "figure: quality vs piUnexplained", E4_unexplained.run);
+    ("E5", "figure: quality vs piCorresp", E5_corresp.run);
+    ("E6", "figure: runtime scaling", (fun () -> E6_scaling.run ()));
+    ("E7", "table: quality per primitive", (fun () -> E7_per_primitive.run ()));
+    ("E8", "figure: CMD vs exact optimum", (fun () -> E8_relaxation_gap.run ()));
+    ("E9", "Theorem 1: SET COVER reduction", (fun () -> E9_setcover.run ()));
+    ("E10", "ablation: CMD rounding strategy", (fun () -> E10_rounding.run ()));
+    ("E11", "ablation: coverage semantics", (fun () -> E11_semantics.run ()));
+    ("E12", "weighted objective sensitivity", (fun () -> E12_weights.run ()));
+    ("E13", "Eq. 4 fast path on full tgds", (fun () -> E13_full_fastpath.run ()));
+    ("E14", "weight calibration on labelled scenarios",
+     (fun () -> E14_weight_tuning.run ()));
+  ]
+
+let find id =
+  List.find_map
+    (fun (id', _, run) ->
+      if String.equal (String.uppercase_ascii id) id' then Some run else None)
+    all
+
+let run_all ppf =
+  List.iter
+    (fun (_, _, run) -> Format.fprintf ppf "%a@." Table.pp (run ()))
+    all

@@ -1,0 +1,10 @@
+(** The experiment registry: every table/figure of the reproduction, by id. *)
+
+val all : (string * string * (unit -> Table.t)) list
+(** [(id, one-line description, runner)] for E1..E9, in order. *)
+
+val find : string -> (unit -> Table.t) option
+(** Case-insensitive lookup by id. *)
+
+val run_all : Format.formatter -> unit
+(** Runs every experiment and prints its table. *)

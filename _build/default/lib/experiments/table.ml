@@ -1,0 +1,67 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let pp ppf t =
+  let all_rows = t.header :: t.rows in
+  let n_cols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all_rows
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all_rows
+  in
+  let widths = List.init n_cols width in
+  let pp_row ppf row =
+    List.iteri
+      (fun c w ->
+        let cell = Option.value ~default:"" (List.nth_opt row c) in
+        if c > 0 then Format.pp_print_string ppf "  ";
+        Format.fprintf ppf "%-*s" w cell)
+      widths
+  in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "%a@." pp_row t.header;
+  Format.fprintf ppf "%a@." pp_row (List.map (fun w -> String.make w '-') widths);
+  List.iter (fun row -> Format.fprintf ppf "%a@." pp_row row) t.rows;
+  List.iter (fun note -> Format.fprintf ppf "%s@." note) t.notes
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "### %s: %s\n\n" t.id t.title);
+  let row cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string buf (row t.header);
+  Buffer.add_string buf (row (List.map (fun _ -> "---") t.header));
+  List.iter (fun r -> Buffer.add_string buf (row r)) t.rows;
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "\n*%s*\n" note))
+    t.notes;
+  Buffer.contents buf
+
+let csv_field s =
+  if String.exists (function ',' | '"' | '\n' -> true | _ -> false) s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"

@@ -1,0 +1,35 @@
+(** Plain-text tables for the experiment reports. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "E3" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** free-form lines printed under the table *)
+}
+
+val make :
+  id : string ->
+  title : string ->
+  header : string list ->
+  ?notes : string list ->
+  string list list ->
+  t
+
+val pp : Format.formatter -> t -> unit
+(** Renders with aligned columns:
+    {v
+    == E1: title ==
+    col1  col2
+    ----  ----
+    a     b
+    v} *)
+
+val to_string : t -> string
+
+val to_markdown : t -> string
+(** GitHub-flavoured markdown: a header line, a separator, one row per
+    line; the notes follow as italic lines. *)
+
+val to_csv : t -> string
+(** Header and rows as CSV (fields quoted when needed); notes omitted. *)

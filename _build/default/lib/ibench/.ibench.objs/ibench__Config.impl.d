@@ -1,0 +1,1 @@
+lib/ibench/config.ml: Format List Option Primitive Printf Result

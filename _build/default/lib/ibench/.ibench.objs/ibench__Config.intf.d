@@ -1,0 +1,1 @@
+lib/ibench/config.mli: Format Primitive

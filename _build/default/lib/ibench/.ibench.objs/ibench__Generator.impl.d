@@ -1,0 +1,1 @@
+lib/ibench/generator.ml: Array Atom Candgen Chase Config Cover Hashtbl Instance List Logic Option Primitive Printf Random Relation Relational Scenario Schema String Term Tgd Tuple Value

@@ -1,0 +1,1 @@
+lib/ibench/generator.mli: Config Random Scenario

@@ -1,0 +1,1 @@
+lib/ibench/primitive.ml: Format String

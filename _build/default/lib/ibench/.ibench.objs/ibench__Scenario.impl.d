@@ -1,0 +1,1 @@
+lib/ibench/scenario.ml: Candgen Config Format Instance List Logic Relational Schema

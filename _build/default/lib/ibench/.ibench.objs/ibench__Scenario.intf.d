@@ -1,0 +1,1 @@
+lib/ibench/scenario.mli: Candgen Config Format Logic Relational

@@ -1,0 +1,74 @@
+type t = {
+  primitives : (Primitive.kind * int) list;
+  src_arity : int;
+  range_add : int * int;
+  range_delete : int * int;
+  rows_per_relation : int;
+  pi_corresp : int;
+  pi_errors : int;
+  pi_unexplained : int;
+  seed : int;
+}
+
+let default =
+  {
+    primitives = List.map (fun k -> (k, 1)) Primitive.all;
+    src_arity = 5;
+    range_add = (2, 4);
+    range_delete = (2, 4);
+    rows_per_relation = 10;
+    pi_corresp = 0;
+    pi_errors = 0;
+    pi_unexplained = 0;
+    seed = 42;
+  }
+
+let with_noise ?pi_corresp ?pi_errors ?pi_unexplained t =
+  {
+    t with
+    pi_corresp = Option.value ~default:t.pi_corresp pi_corresp;
+    pi_errors = Option.value ~default:t.pi_errors pi_errors;
+    pi_unexplained = Option.value ~default:t.pi_unexplained pi_unexplained;
+  }
+
+let validate t =
+  let pct name v =
+    if v < 0 || v > 100 then Error (Printf.sprintf "%s must be in [0,100]" name)
+    else Ok ()
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* () = pct "pi_corresp" t.pi_corresp in
+  let* () = pct "pi_errors" t.pi_errors in
+  let* () = pct "pi_unexplained" t.pi_unexplained in
+  let* () =
+    if t.src_arity < 2 then Error "src_arity must be at least 2" else Ok ()
+  in
+  let* () =
+    let lo, hi = t.range_delete in
+    if lo > hi || lo < 1 then Error "invalid range_delete"
+    else if t.src_arity - lo < 1 then
+      Error "range_delete would remove every attribute"
+    else Ok ()
+  in
+  let* () =
+    let lo, hi = t.range_add in
+    if lo > hi || lo < 1 then Error "invalid range_add" else Ok ()
+  in
+  let* () =
+    if t.rows_per_relation < 0 then Error "negative rows_per_relation" else Ok ()
+  in
+  if List.exists (fun (_, n) -> n < 0) t.primitives then
+    Error "negative primitive count"
+  else Ok ()
+
+let pp ppf t =
+  let pp_prims ppf =
+    List.iter (fun (k, n) ->
+        if n > 0 then Format.fprintf ppf " %a×%d" Primitive.pp k n)
+  in
+  Format.fprintf ppf
+    "@[<v>primitives:%a@,arity %d, +%d..%d, -%d..%d, %d rows@,noise: corresp \
+     %d%%, errors %d%%, unexplained %d%% (seed %d)@]"
+    pp_prims t.primitives t.src_arity (fst t.range_add) (snd t.range_add)
+    (fst t.range_delete) (snd t.range_delete) t.rows_per_relation t.pi_corresp
+    t.pi_errors t.pi_unexplained t.seed

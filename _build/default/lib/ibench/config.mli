@@ -1,0 +1,38 @@
+(** Scenario generation parameters (the paper's Table I).
+
+    Noise parameters are percentages in [0, 100]:
+    - [pi_corresp]: share of target relations that receive additional random
+      correspondences (spurious metadata evidence, which Clio turns into
+      spurious candidates);
+    - [pi_errors]: share of the potential non-certain error tuples deleted
+      from [J] (tuples only the ground truth produces);
+    - [pi_unexplained]: share of the potential non-certain unexplained
+      tuples added to [J] (tuples only spurious candidates produce). *)
+
+type t = {
+  primitives : (Primitive.kind * int) list;
+      (** how many instances of each primitive *)
+  src_arity : int;  (** arity of generated source relations (default 5) *)
+  range_add : int * int;
+      (** attributes added by ADD/ADL, inclusive range; the appendix uses
+          (2,4) *)
+  range_delete : int * int;
+      (** attributes removed by DL/ADL, inclusive range; the appendix uses
+          (2,4) *)
+  rows_per_relation : int;  (** source tuples per relation (default 10) *)
+  pi_corresp : int;
+  pi_errors : int;
+  pi_unexplained : int;
+  seed : int;
+}
+
+val default : t
+(** One instance of each primitive, arity 5, ranges (2,4), 10 rows, no
+    noise, seed 42. *)
+
+val with_noise :
+  ?pi_corresp : int -> ?pi_errors : int -> ?pi_unexplained : int -> t -> t
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type kind =
+  | CP
+  | ADD
+  | DL
+  | ADL
+  | ME
+  | VP
+  | VNM
+
+let all = [ CP; ADD; DL; ADL; ME; VP; VNM ]
+
+let to_string = function
+  | CP -> "CP"
+  | ADD -> "ADD"
+  | DL -> "DL"
+  | ADL -> "ADL"
+  | ME -> "ME"
+  | VP -> "VP"
+  | VNM -> "VNM"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "CP" -> Some CP
+  | "ADD" -> Some ADD
+  | "DL" -> Some DL
+  | "ADL" -> Some ADL
+  | "ME" -> Some ME
+  | "VP" -> Some VP
+  | "VNM" -> Some VNM
+  | _ -> None
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

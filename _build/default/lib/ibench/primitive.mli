@@ -1,0 +1,30 @@
+(** The seven iBench mapping primitives used in the paper's evaluation.
+
+    - [CP] copies a source relation to the target, changing its name.
+    - [ADD] copies a source relation and adds attributes.
+    - [DL] copies a source relation and removes attributes.
+    - [ADL] adds and removes attributes on the same relation.
+    - [ME] copies two relations, after joining them, to one target relation.
+    - [VP] copies a source relation to two joined target relations
+      (vertical partitioning).
+    - [VNM] is [VP] with an additional target relation forming an N-to-M
+      relationship between the two parts. *)
+
+type kind =
+  | CP
+  | ADD
+  | DL
+  | ADL
+  | ME
+  | VP
+  | VNM
+
+val all : kind list
+(** In the order the appendix lists them. *)
+
+val to_string : kind -> string
+
+val of_string : string -> kind option
+(** Case-insensitive. *)
+
+val pp : Format.formatter -> kind -> unit

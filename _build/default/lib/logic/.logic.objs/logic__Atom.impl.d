@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Array Format Hashtbl List Relation Relational Schema Stdlib String String_set Term

@@ -1,0 +1,1 @@
+lib/logic/containment.ml: Array Atom Cq Instance List Relational String_set Subst Term Tuple Value

@@ -1,0 +1,1 @@
+lib/logic/cq.ml: Array Atom Hashtbl Instance List Option Relational String_set Subst Term Tuple Value

@@ -1,0 +1,1 @@
+lib/logic/cq.mli: Atom Relational Seq Subst

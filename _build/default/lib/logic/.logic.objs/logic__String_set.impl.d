@@ -1,0 +1,1 @@
+lib/logic/string_set.ml: Format Set String

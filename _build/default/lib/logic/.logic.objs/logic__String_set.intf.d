@@ -1,0 +1,1 @@
+lib/logic/string_set.mli: Format Set

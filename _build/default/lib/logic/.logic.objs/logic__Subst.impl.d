@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Array Atom Format Map Printf Relational String Term Tuple Value

@@ -1,0 +1,1 @@
+lib/logic/tgd.ml: Array Atom Format Hashtbl List Printf Set Stdlib String_set Term

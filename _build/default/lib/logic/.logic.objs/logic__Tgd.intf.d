@@ -1,0 +1,1 @@
+lib/logic/tgd.mli: Atom Format Relational Set String_set

@@ -1,0 +1,45 @@
+open Relational
+
+let frozen v = Value.Const ("__frz_" ^ v)
+
+let freeze atoms =
+  List.map
+    (fun (a : Atom.t) ->
+      let values =
+        Array.map
+          (function Term.Var v -> frozen v | Term.Cst c -> Value.Const c)
+          a.Atom.args
+      in
+      { Tuple.rel = a.Atom.rel; values })
+    atoms
+
+let contained_in ?(distinguished = String_set.empty) q q' =
+  let canonical = Instance.of_tuples (freeze q) in
+  let pinned =
+    String_set.fold
+      (fun v acc -> Subst.bind_exn v (frozen v) acc)
+      distinguished Subst.empty
+  in
+  Cq.extensions canonical pinned q' <> []
+
+let equivalent ?distinguished q q' =
+  contained_in ?distinguished q q' && contained_in ?distinguished q' q
+
+let vars_of atoms =
+  List.fold_left (fun acc a -> String_set.union acc (Atom.vars a)) String_set.empty atoms
+
+let minimize ?(distinguished = String_set.empty) atoms =
+  let removable kept atom =
+    let rest = List.filter (fun a -> a != atom) kept in
+    rest <> []
+    && String_set.subset
+         (String_set.inter distinguished (vars_of kept))
+         (vars_of rest)
+    && equivalent ~distinguished rest kept
+  in
+  let rec shrink kept =
+    match List.find_opt (removable kept) kept with
+    | None -> kept
+    | Some atom -> shrink (List.filter (fun a -> a != atom) kept)
+  in
+  shrink atoms

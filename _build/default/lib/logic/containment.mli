@@ -1,0 +1,23 @@
+(** Containment of conjunctive queries (Chandra–Merlin).
+
+    [q ⊆ q'] — every database's answers to [q] are answers to [q'] — holds
+    iff there is a homomorphism from [q'] to [q] that fixes the
+    distinguished (output) variables. The test freezes [q]'s variables into
+    constants, turning its atoms into a canonical instance, and looks for a
+    match of [q'] in it. *)
+
+val contained_in :
+  ?distinguished : String_set.t -> Atom.t list -> Atom.t list -> bool
+(** [contained_in ~distinguished q q'] is [true] iff [q ⊆ q'] as queries
+    with the given output variables (default: none, i.e. boolean queries).
+    Variables of [q'] not shared with [distinguished] are matched freely. *)
+
+val equivalent :
+  ?distinguished : String_set.t -> Atom.t list -> Atom.t list -> bool
+
+val minimize : ?distinguished : String_set.t -> Atom.t list -> Atom.t list
+(** The core of the query: greedily removes atoms whose removal keeps the
+    query equivalent (the result is a minimal equivalent subquery —
+    unique up to isomorphism by Chandra–Merlin). Atoms containing
+    distinguished variables are kept whenever their removal would unbind
+    one. *)

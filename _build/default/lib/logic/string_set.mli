@@ -1,0 +1,5 @@
+(** Sets of strings, shared by the logic modules. *)
+
+include Set.S with type elt = string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t =
+  | Var of string
+  | Cst of string
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Cst x, Cst y -> String.compare x y
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let is_var = function Var _ -> true | Cst _ -> false
+
+let var_name = function Var v -> Some v | Cst _ -> None
+
+let pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Cst c -> Format.pp_print_string ppf c
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,23 @@
+(** Terms of tgd formulas: variables or constants.
+
+    Labeled nulls never appear in formulas — only in instances — so a formula
+    constant is a plain string. *)
+
+type t =
+  | Var of string  (** a first-order variable *)
+  | Cst of string  (** a constant *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_var : t -> bool
+
+val var_name : t -> string option
+
+val pp : Format.formatter -> t -> unit
+(** Variables print capitalised as written; constants print verbatim. *)
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

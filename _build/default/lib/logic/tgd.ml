@@ -1,0 +1,165 @@
+type t = {
+  label : string;
+  body : Atom.t list;
+  head : Atom.t list;
+}
+
+let make ?(label = "tgd") ~body ~head () =
+  if body = [] then invalid_arg "Tgd.make: empty body";
+  if head = [] then invalid_arg "Tgd.make: empty head";
+  { label; body; head }
+
+let relabel label t = { t with label }
+
+let vars_of_atoms atoms =
+  List.fold_left (fun acc a -> String_set.union acc (Atom.vars a)) String_set.empty atoms
+
+let body_vars t = vars_of_atoms t.body
+
+let head_vars t = vars_of_atoms t.head
+
+let frontier_vars t = String_set.inter (body_vars t) (head_vars t)
+
+let existential_vars t = String_set.diff (head_vars t) (body_vars t)
+
+let is_full t = String_set.is_empty (existential_vars t)
+
+let size t =
+  List.length t.body + List.length t.head
+  + String_set.cardinal (existential_vars t)
+
+let well_formed ~source ~target t =
+  let check schema kind atoms =
+    List.fold_left
+      (fun acc a ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if Atom.conforms_to schema a then Ok ()
+          else
+            Error
+              (Format.asprintf "%s atom %a does not conform to the %s schema"
+                 kind Atom.pp a kind))
+      (Ok ()) atoms
+  in
+  match check source "source" t.body with
+  | Error _ as e -> e
+  | Ok () -> check target "target" t.head
+
+let map_vars f t =
+  let map_atom (a : Atom.t) =
+    { a with
+      Atom.args =
+        Array.map
+          (function Term.Var v -> Term.Var (f v) | Term.Cst _ as c -> c)
+          a.Atom.args
+    }
+  in
+  { t with body = List.map map_atom t.body; head = List.map map_atom t.head }
+
+let canonicalize t =
+  let mapping = Hashtbl.create 8 in
+  let next = ref 0 in
+  let visit_atom (a : Atom.t) =
+    Array.iter
+      (function
+        | Term.Var v ->
+          if not (Hashtbl.mem mapping v) then begin
+            Hashtbl.add mapping v (Printf.sprintf "V%d" !next);
+            incr next
+          end
+        | Term.Cst _ -> ())
+      a.Atom.args
+  in
+  List.iter visit_atom t.body;
+  List.iter visit_atom t.head;
+  map_vars (Hashtbl.find mapping) t
+
+let structural_compare a b =
+  let cmp_atoms xs ys =
+    let rec loop xs ys =
+      match xs, ys with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | x :: xs, y :: ys ->
+        let c = Atom.compare x y in
+        if c <> 0 then c else loop xs ys
+    in
+    loop xs ys
+  in
+  let c = cmp_atoms a.body b.body in
+  if c <> 0 then c else cmp_atoms a.head b.head
+
+let compare a b = structural_compare a b
+
+let equal a b = compare a b = 0
+
+(* For renaming-insensitive equality we canonicalise under every atom order?
+   That is exponential in general; instead we canonicalise after sorting the
+   atoms by (relation, term shapes), which is a sound and — for the candidate
+   tgds arising in schema mapping, where atoms within a side rarely share a
+   relation symbol — complete normal form. When several atoms of the same
+   side share a relation name we fall back to trying all permutations of that
+   relation's atoms (the groups are tiny in practice). *)
+let equal_up_to_renaming a b =
+  let shape (x : Atom.t) =
+    ( x.Atom.rel,
+      Array.to_list x.Atom.args
+      |> List.map (function Term.Cst c -> Some c | Term.Var _ -> None) )
+  in
+  let normalise t =
+    let sort atoms =
+      List.stable_sort (fun x y -> Stdlib.compare (shape x) (shape y)) atoms
+    in
+    canonicalize { t with body = sort t.body; head = sort t.head }
+  in
+  let quick = equal (normalise a) (normalise b) in
+  if quick then true
+  else begin
+    (* Permutation fallback, bounded: only worth attempting when both sides
+       have the same multiset of shapes. *)
+    let shapes t = List.sort Stdlib.compare (List.map shape (t.body @ t.head)) in
+    if shapes a <> shapes b then false
+    else begin
+      let rec permutations = function
+        | [] -> [ [] ]
+        | l ->
+          List.concat_map
+            (fun x ->
+              let rest = List.filter (fun y -> y != x) l in
+              List.map (fun p -> x :: p) (permutations rest))
+            l
+      in
+      let bounded l = List.length l <= 6 in
+      if not (bounded a.body && bounded a.head) then false
+      else
+        List.exists
+          (fun body ->
+            List.exists
+              (fun head ->
+                equal (canonicalize { a with body; head }) (canonicalize b))
+              (permutations a.head))
+          (permutations a.body)
+    end
+  end
+
+let rename_apart ~suffix t = map_vars (fun v -> v ^ suffix) t
+
+let pp ppf t =
+  let pp_atoms =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Atom.pp
+  in
+  Format.fprintf ppf "%s: %a -> %a" t.label pp_atoms t.body pp_atoms t.head
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

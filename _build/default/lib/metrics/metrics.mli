@@ -1,0 +1,28 @@
+(** Evaluation metrics for mapping selection.
+
+    Two granularities, following the paper's evaluation:
+
+    - {e tuple-level}: how well the selected mapping reproduces the target
+      data. Recall is the average degree to which the tuples of [J] are
+      explained; precision is the share of produced tuples that are not
+      errors (1 when nothing is produced).
+    - {e mapping-level}: the selected tgds against the ground truth MG, with
+      equality up to variable renaming; precision is 1 on an empty
+      selection by convention. *)
+
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;  (** harmonic mean; 0 when either side is 0 *)
+}
+
+val tuple_level : Core.Problem.t -> bool array -> scores
+
+val mapping_level :
+  candidates : Logic.Tgd.t list ->
+  truth : Logic.Tgd.t list ->
+  bool array ->
+  scores
+
+val pp : Format.formatter -> scores -> unit
+(** Prints as [P=0.92 R=0.88 F1=0.90]. *)

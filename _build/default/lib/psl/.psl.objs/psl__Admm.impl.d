@@ -1,0 +1,1 @@
+lib/psl/admm.ml: Array Float Hlmrf Linexpr List

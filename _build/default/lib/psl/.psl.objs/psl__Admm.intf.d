@@ -1,0 +1,1 @@
+lib/psl/admm.mli: Hlmrf

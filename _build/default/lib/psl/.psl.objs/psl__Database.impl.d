@@ -1,0 +1,1 @@
+lib/psl/database.ml: Array Gatom List Map Option Predicate Printf String

@@ -1,0 +1,1 @@
+lib/psl/database.mli: Gatom Predicate

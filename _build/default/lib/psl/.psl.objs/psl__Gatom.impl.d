@@ -1,0 +1,1 @@
+lib/psl/gatom.ml: Array Format Map Set Stdlib String

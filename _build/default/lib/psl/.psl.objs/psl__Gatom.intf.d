@@ -1,0 +1,1 @@
+lib/psl/gatom.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/psl/gradient.ml: Array Float Hlmrf Linexpr List

@@ -1,0 +1,1 @@
+lib/psl/gradient.mli: Hlmrf

@@ -1,0 +1,1 @@
+lib/psl/grounding.ml: Admm Array Database Float Gatom Hlmrf Linexpr List Map Option Predicate Printf Rule String

@@ -1,0 +1,1 @@
+lib/psl/grounding.mli: Admm Database Gatom Hlmrf Linexpr Rule

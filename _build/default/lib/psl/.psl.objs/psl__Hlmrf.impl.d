@@ -1,0 +1,1 @@
+lib/psl/hlmrf.ml: Array Float Linexpr List Printf

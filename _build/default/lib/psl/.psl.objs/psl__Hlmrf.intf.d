@@ -1,0 +1,1 @@
+lib/psl/hlmrf.mli: Linexpr

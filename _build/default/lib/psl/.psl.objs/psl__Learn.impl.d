@@ -1,0 +1,1 @@
+lib/psl/learn.ml: Admm Array Database Float Grounding Hlmrf List Option Rule

@@ -1,0 +1,1 @@
+lib/psl/learn.mli: Admm Database Grounding Rule

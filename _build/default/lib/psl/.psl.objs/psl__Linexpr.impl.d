@@ -1,0 +1,1 @@
+lib/psl/linexpr.ml: Array Format Hashtbl Int List Option

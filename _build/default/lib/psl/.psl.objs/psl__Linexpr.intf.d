@@ -1,0 +1,1 @@
+lib/psl/linexpr.mli: Format

@@ -1,0 +1,1 @@
+lib/psl/predicate.ml: Format

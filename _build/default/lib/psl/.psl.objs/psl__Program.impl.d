@@ -1,0 +1,1 @@
+lib/psl/program.ml: Buffer Database Format Fun Gatom List Predicate Printf Rule String

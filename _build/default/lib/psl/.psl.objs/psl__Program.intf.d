@@ -1,0 +1,1 @@
+lib/psl/program.mli: Database Format Gatom Predicate Rule

@@ -1,0 +1,1 @@
+lib/psl/rule.ml: Format Hashtbl List

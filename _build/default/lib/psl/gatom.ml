@@ -1,0 +1,30 @@
+type t = {
+  pred : string;
+  args : string array;
+}
+
+let make pred args = { pred; args = Array.of_list args }
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else Stdlib.compare a.args b.args
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (Array.to_list a.args)
+
+let to_string a = Format.asprintf "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

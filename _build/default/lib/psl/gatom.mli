@@ -1,0 +1,20 @@
+(** Ground atoms: a predicate name applied to constants. *)
+
+type t = {
+  pred : string;
+  args : string array;
+}
+
+val make : string -> string list -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+
+module Set : Set.S with type elt = t

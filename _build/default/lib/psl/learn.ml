@@ -1,0 +1,65 @@
+type options = {
+  iterations : int;
+  rate : float;
+  min_weight : float;
+  admm : Admm.options;
+}
+
+let default_options =
+  { iterations = 25; rate = 0.5; min_weight = 0.01; admm = Admm.default_options }
+
+let observed_assignment db (g : Grounding.t) =
+  Array.map
+    (fun atom -> Option.value ~default:0. (Database.truth db atom))
+    g.Grounding.atoms
+
+(* Rebuild the ground model with the given per-rule weights (the grounding
+   itself is weight-independent). *)
+let model_with_weights (g : Grounding.t) weights =
+  let model = Hlmrf.create ~num_vars:(Array.length g.Grounding.atoms) in
+  List.iter
+    (fun (gr : Grounding.ground_rule) ->
+      Hlmrf.add_potential model
+        (Hlmrf.Hinge
+           {
+             weight = weights.(gr.Grounding.rule_index);
+             expr = gr.Grounding.expr;
+             squared = gr.Grounding.squared;
+           }))
+    g.Grounding.soft_groundings;
+  List.iter (Hlmrf.add_constraint model) (Hlmrf.constraints g.Grounding.model);
+  model
+
+let learn ?(options = default_options) db rules =
+  let g = Grounding.ground db rules in
+  let num_rules = List.length rules in
+  let weights =
+    Array.of_list
+      (List.map
+         (fun (r : Rule.t) -> Option.value ~default:0. r.Rule.weight)
+         rules)
+  in
+  let observed = observed_assignment db g in
+  let d_observed = Grounding.rule_distances g ~num_rules observed in
+  let soft =
+    Array.of_list (List.map (fun (r : Rule.t) -> r.Rule.weight <> None) rules)
+  in
+  for _ = 1 to options.iterations do
+    let model = model_with_weights g weights in
+    let map = Admm.solve ~options:options.admm model in
+    let d_map = Grounding.rule_distances g ~num_rules map.Admm.solution in
+    for r = 0 to num_rules - 1 do
+      if soft.(r) then
+        weights.(r) <-
+          Float.max options.min_weight
+            (weights.(r) -. (options.rate *. (d_observed.(r) -. d_map.(r))))
+    done
+  done;
+  List.mapi
+    (fun r (rule : Rule.t) ->
+      match rule.Rule.weight with
+      | None -> rule
+      | Some _ ->
+        Rule.make ~label:rule.Rule.label ~squared:rule.Rule.squared
+          ~weight:(Some weights.(r)) ~body:rule.Rule.body ~head:rule.Rule.head ())
+    rules

@@ -1,0 +1,33 @@
+(** Weight learning for PSL programs.
+
+    Large-margin perceptron learning, the standard approximation of
+    maximum-likelihood weight estimation for HL-MRFs: per step, run MAP
+    inference under the current weights and move each soft rule's weight by
+    the difference between the rule's total distance to satisfaction at the
+    {e observed} assignment and at the {e MAP} assignment,
+
+    {v  w_r ← max(min_weight, w_r − rate · (d_r(observed) − d_r(MAP)))  v}
+
+    so rules violated more by the training labels than by the model lose
+    weight and vice versa. Hard rules are left untouched. The training
+    labels are the database's observations of {e open} predicate atoms
+    (which grounding itself ignores); open atoms without an observation are
+    treated as false. *)
+
+type options = {
+  iterations : int;  (** default 25 *)
+  rate : float;  (** learning rate; default 0.5 *)
+  min_weight : float;  (** weight floor; default 0.01 *)
+  admm : Admm.options;
+}
+
+val default_options : options
+
+val learn : ?options : options -> Database.t -> Rule.t list -> Rule.t list
+(** The input rules with learned weights, in order. Raises like
+    {!Grounding.ground}. *)
+
+val observed_assignment : Database.t -> Grounding.t -> float array
+(** The training-label assignment: one value per ground-model variable,
+    from the database's observations of open atoms (0 when unobserved).
+    Exposed for testing. *)

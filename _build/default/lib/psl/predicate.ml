@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  arity : int;
+  closed : bool;
+}
+
+let make ?(closed = false) name arity =
+  if arity <= 0 then invalid_arg "Predicate.make: arity must be positive";
+  { name; arity; closed }
+
+let pp ppf p =
+  Format.fprintf ppf "%s/%d%s" p.name p.arity (if p.closed then " (closed)" else "")

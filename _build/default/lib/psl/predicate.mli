@@ -1,0 +1,17 @@
+(** PSL predicates.
+
+    A predicate is {e closed} when its atoms are fully observed (their truth
+    values come from the database; unlisted atoms are 0 under the closed
+    world assumption) and {e open} when its ground atoms are decision
+    variables of MAP inference. *)
+
+type t = {
+  name : string;
+  arity : int;
+  closed : bool;
+}
+
+val make : ?closed : bool -> string -> int -> t
+(** Open by default. Raises [Invalid_argument] on non-positive arity. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Instance List Printf Result String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Format List Map String Tuple Value

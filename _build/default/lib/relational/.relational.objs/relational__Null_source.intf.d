@@ -1,0 +1,1 @@
+lib/relational/null_source.mli: Value

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Format List Map Printf Relation String

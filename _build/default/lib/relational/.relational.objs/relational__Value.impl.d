@@ -1,0 +1,1 @@
+lib/relational/value.ml: Format Int Map Printf Set String

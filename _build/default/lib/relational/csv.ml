@@ -1,0 +1,108 @@
+let parse_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let push () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  (* states: outside quotes / inside quotes *)
+  let rec outside i =
+    if i >= n then Ok (push ())
+    else
+      match line.[i] with
+      | ',' ->
+        push ();
+        outside (i + 1)
+      | '"' ->
+        if Buffer.length buf = 0 then inside (i + 1)
+        else Error (Printf.sprintf "unexpected quote at column %d" (i + 1))
+      | c ->
+        Buffer.add_char buf c;
+        outside (i + 1)
+  and inside i =
+    if i >= n then Error "unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' ->
+        if i + 1 < n && line.[i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          inside (i + 2)
+        end
+        else after_quote (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        inside (i + 1)
+  and after_quote i =
+    if i >= n then Ok (push ())
+    else
+      match line.[i] with
+      | ',' ->
+        push ();
+        outside (i + 1)
+      | c -> Error (Printf.sprintf "unexpected %c after closing quote" c)
+  in
+  Result.map (fun () -> List.rev !fields) (outside 0)
+
+let load_relation ~rel ?arity text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let rec loop acc width = function
+    | [] -> Ok (List.rev acc)
+    | (ln, line) :: rest -> (
+      match parse_line line with
+      | Error msg -> Error (Printf.sprintf "line %d: %s" ln msg)
+      | Ok fields -> (
+        let w = List.length fields in
+        match width with
+        | Some expected when expected <> w ->
+          Error
+            (Printf.sprintf "line %d: %d fields where %d were expected" ln w
+               expected)
+        | Some _ | None ->
+          loop (Tuple.of_consts rel fields :: acc) (Some w) rest))
+  in
+  loop [] arity lines
+
+let load rels =
+  List.fold_left
+    (fun acc (rel, text) ->
+      Result.bind acc (fun inst ->
+          Result.map
+            (fun tuples -> Instance.add_all tuples inst)
+            (Result.map_error
+               (fun msg -> rel ^ ": " ^ msg)
+               (load_relation ~rel text))))
+    (Ok Instance.empty) rels
+
+let escape field =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' -> true | _ -> false) field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv inst rel =
+  Tuple.Set.fold
+    (fun tu acc ->
+      let line =
+        Array.to_list tu.Tuple.values
+        |> List.map (fun v -> escape (Value.to_string v))
+        |> String.concat ","
+      in
+      line :: acc)
+    (Instance.tuples_of inst rel)
+    []
+  |> List.rev |> String.concat "\n"

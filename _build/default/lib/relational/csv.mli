@@ -1,0 +1,21 @@
+(** Minimal CSV import/export for instances.
+
+    Supports the common subset: comma separators, [""]-quoted fields with
+    doubled inner quotes, one record per line. Intended for loading small
+    data examples, not for streaming large files. *)
+
+val parse_line : string -> (string list, string) result
+(** One CSV record. *)
+
+val load_relation : rel : string -> ?arity : int -> string -> (Tuple.t list, string) result
+(** [load_relation ~rel text] parses one tuple per non-empty line. All rows
+    must have the same width (and match [arity] when given); errors carry
+    the offending line number. *)
+
+val load :
+  (string * string) list -> (Instance.t, string) result
+(** [load [(rel, csv); ...]] builds an instance from several relations. *)
+
+val to_csv : Instance.t -> string -> string
+(** [to_csv inst rel]: the tuples of one relation as CSV (nulls print as
+    [_N<label>]). *)

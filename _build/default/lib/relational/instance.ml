@@ -1,0 +1,106 @@
+module Smap = Map.Make (String)
+
+type t = Tuple.Set.t Smap.t
+
+let empty = Smap.empty
+
+let add tu inst =
+  let set =
+    match Smap.find_opt tu.Tuple.rel inst with
+    | None -> Tuple.Set.singleton tu
+    | Some s -> Tuple.Set.add tu s
+  in
+  Smap.add tu.Tuple.rel set inst
+
+let add_all tus inst = List.fold_left (fun acc tu -> add tu acc) inst tus
+
+let of_tuples tus = add_all tus empty
+
+let remove tu inst =
+  match Smap.find_opt tu.Tuple.rel inst with
+  | None -> inst
+  | Some s ->
+    let s = Tuple.Set.remove tu s in
+    if Tuple.Set.is_empty s then Smap.remove tu.Tuple.rel inst
+    else Smap.add tu.Tuple.rel s inst
+
+let mem tu inst =
+  match Smap.find_opt tu.Tuple.rel inst with
+  | None -> false
+  | Some s -> Tuple.Set.mem tu s
+
+let tuples_of inst rel =
+  match Smap.find_opt rel inst with None -> Tuple.Set.empty | Some s -> s
+
+let tuples inst =
+  Smap.fold (fun _ s acc -> Tuple.Set.elements s @ acc) inst [] |> List.rev
+
+let relations inst = Smap.bindings inst |> List.map fst
+
+let cardinal inst = Smap.fold (fun _ s n -> n + Tuple.Set.cardinal s) inst 0
+
+let is_empty inst = Smap.is_empty inst
+
+let union a b = Smap.union (fun _ sa sb -> Some (Tuple.Set.union sa sb)) a b
+
+let merge_nonempty rel s inst =
+  if Tuple.Set.is_empty s then inst else Smap.add rel s inst
+
+let diff a b =
+  Smap.fold
+    (fun rel sa acc ->
+      match Smap.find_opt rel b with
+      | None -> Smap.add rel sa acc
+      | Some sb -> merge_nonempty rel (Tuple.Set.diff sa sb) acc)
+    a empty
+
+let inter a b =
+  Smap.fold
+    (fun rel sa acc ->
+      match Smap.find_opt rel b with
+      | None -> acc
+      | Some sb -> merge_nonempty rel (Tuple.Set.inter sa sb) acc)
+    a empty
+
+let filter p inst =
+  Smap.fold
+    (fun rel s acc -> merge_nonempty rel (Tuple.Set.filter p s) acc)
+    inst empty
+
+let fold f inst init =
+  Smap.fold (fun _ s acc -> Tuple.Set.fold f s acc) inst init
+
+let iter f inst = Smap.iter (fun _ s -> Tuple.Set.iter f s) inst
+
+let subset a b =
+  Smap.for_all
+    (fun rel sa ->
+      match Smap.find_opt rel b with
+      | None -> Tuple.Set.is_empty sa
+      | Some sb -> Tuple.Set.subset sa sb)
+    a
+
+let equal a b = subset a b && subset b a
+
+let map_values f inst = fold (fun tu acc -> add (Tuple.map_values f tu) acc) inst empty
+
+let values_matching p inst =
+  fold
+    (fun tu acc ->
+      Array.fold_left
+        (fun acc v -> if p v then Value.Set.add v acc else acc)
+        acc tu.Tuple.values)
+    inst Value.Set.empty
+
+let constants inst = values_matching Value.is_const inst
+
+let null_labels inst = values_matching Value.is_null inst
+
+let is_ground inst = fold (fun tu acc -> acc && Tuple.is_ground tu) inst true
+
+let pp ppf inst =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+       Tuple.pp)
+    (tuples inst)

@@ -1,0 +1,15 @@
+type t = {
+  mutable next : int;
+  first : int;
+}
+
+let create ?(first = 0) () = { next = first; first }
+
+let fresh_label t =
+  let l = t.next in
+  t.next <- t.next + 1;
+  l
+
+let fresh t = Value.Null (fresh_label t)
+
+let count t = t.next - t.first

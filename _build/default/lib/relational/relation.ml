@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  attrs : string array;
+}
+
+let make name attrs =
+  if attrs = [] then invalid_arg "Relation.make: empty attribute list";
+  let sorted = List.sort_uniq String.compare attrs in
+  if List.length sorted <> List.length attrs then
+    invalid_arg (Printf.sprintf "Relation.make: duplicate attribute in %s" name);
+  { name; attrs = Array.of_list attrs }
+
+let arity r = Array.length r.attrs
+
+let attr_index r a =
+  let rec loop i =
+    if i >= Array.length r.attrs then raise Not_found
+    else if String.equal r.attrs.(i) a then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let has_attr r a = match attr_index r a with _ -> true | exception Not_found -> false
+
+let equal a b = String.equal a.name b.name && a.attrs = b.attrs
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Stdlib.compare a.attrs b.attrs
+
+let pp ppf r =
+  Format.fprintf ppf "%s(%a)" r.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (Array.to_list r.attrs)

@@ -1,0 +1,24 @@
+(** Relation symbols: a name together with named attributes. *)
+
+type t = {
+  name : string;  (** relation name, unique within a schema *)
+  attrs : string array;  (** attribute names, in column order *)
+}
+
+val make : string -> string list -> t
+(** [make name attrs] builds a relation symbol. Raises [Invalid_argument] if
+    [attrs] is empty or contains duplicates. *)
+
+val arity : t -> int
+
+val attr_index : t -> string -> int
+(** Position of an attribute. Raises [Not_found] if absent. *)
+
+val has_attr : t -> string -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [name(attr1, attr2, ...)]. *)

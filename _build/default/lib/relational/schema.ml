@@ -1,0 +1,46 @@
+module Smap = Map.Make (String)
+
+type t = Relation.t Smap.t
+
+let empty = Smap.empty
+
+let add r s =
+  match Smap.find_opt r.Relation.name s with
+  | None -> Smap.add r.Relation.name r s
+  | Some r' ->
+    if Relation.equal r r' then s
+    else
+      invalid_arg
+        (Printf.sprintf "Schema.add: conflicting signatures for relation %s"
+           r.Relation.name)
+
+let of_relations rels =
+  List.fold_left
+    (fun s r ->
+      if Smap.mem r.Relation.name s then
+        invalid_arg
+          (Printf.sprintf "Schema.of_relations: duplicate relation %s"
+             r.Relation.name)
+      else add r s)
+    empty rels
+
+let find s name = Smap.find name s
+
+let find_opt s name = Smap.find_opt name s
+
+let mem s name = Smap.mem name s
+
+let relations s = Smap.bindings s |> List.map snd
+
+let names s = Smap.bindings s |> List.map fst
+
+let size s = Smap.cardinal s
+
+let union a b = Smap.fold (fun _ r acc -> add r acc) b a
+
+let equal a b = Smap.equal Relation.equal a b
+
+let pp ppf s =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    Relation.pp ppf (relations s)

@@ -1,0 +1,34 @@
+(** A schema is a finite set of relation symbols with distinct names. *)
+
+type t
+
+val empty : t
+
+val of_relations : Relation.t list -> t
+(** Raises [Invalid_argument] on duplicate relation names. *)
+
+val add : Relation.t -> t -> t
+(** Adds a relation. Raises [Invalid_argument] if a relation with the same
+    name but a different signature is already present; adding the identical
+    relation twice is a no-op. *)
+
+val find : t -> string -> Relation.t
+(** Raises [Not_found]. *)
+
+val find_opt : t -> string -> Relation.t option
+
+val mem : t -> string -> bool
+
+val relations : t -> Relation.t list
+(** In ascending name order. *)
+
+val names : t -> string list
+
+val size : t -> int
+
+val union : t -> t -> t
+(** Raises [Invalid_argument] on conflicting signatures. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  rel : string;
+  values : Value.t array;
+}
+
+let make rel values = { rel; values = Array.of_list values }
+
+let of_consts rel cs = { rel; values = Array.of_list (List.map (fun c -> Value.Const c) cs) }
+
+let arity t = Array.length t.values
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let la = Array.length a.values and lb = Array.length b.values in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i >= la then 0
+        else
+          let c = Value.compare a.values.(i) b.values.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+let equal a b = compare a b = 0
+
+let is_ground t = Array.for_all Value.is_const t.values
+
+let nulls t =
+  Array.fold_left
+    (fun acc v -> if Value.is_null v then Value.Set.add v acc else acc)
+    Value.Set.empty t.values
+
+let map_values f t = { t with values = Array.map f t.values }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a)" t.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t.values)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,34 @@
+(** Tuples: a relation name together with a value per column. *)
+
+type t = {
+  rel : string;  (** name of the relation this tuple belongs to *)
+  values : Value.t array;
+}
+
+val make : string -> Value.t list -> t
+
+val of_consts : string -> string list -> t
+(** Convenience: all values are constants. *)
+
+val arity : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_ground : t -> bool
+(** [true] iff the tuple contains no labeled nulls. *)
+
+val nulls : t -> Value.Set.t
+(** The set of labeled nulls occurring in the tuple. *)
+
+val map_values : (Value.t -> Value.t) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [rel(v1, v2, ...)]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

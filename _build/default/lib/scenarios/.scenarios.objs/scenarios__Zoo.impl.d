@@ -1,0 +1,1 @@
+lib/scenarios/zoo.ml: Atom Candgen Chase Hashtbl Instance List Logic Printf Relation Relational Schema Serialize String Term Tgd Tuple Value

@@ -1,0 +1,1 @@
+lib/scenarios/zoo.mli: Logic Relational Serialize

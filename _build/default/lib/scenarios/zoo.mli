@@ -1,0 +1,34 @@
+(** A zoo of hand-crafted mapping-selection scenarios.
+
+    Each entry is a complete scenario document (schemas, foreign keys,
+    correspondences, candidate tgds and a data example) together with its
+    ground-truth mapping. They complement the iBench generator with
+    realistic, human-readable cases: the paper's running example, and three
+    classic integration settings (bibliography, HR, flights).
+
+    Target instances are the grounded chase of the source under the ground
+    truth (plus scenario-specific extra tuples), so every entry is a
+    consistent data example by construction. *)
+
+type entry = {
+  name : string;
+  description : string;
+  doc : Serialize.Document.t;
+      (** [doc.tgds] is the candidate set; MG is a subset up to renaming *)
+  ground_truth : Logic.Tgd.t list;
+}
+
+val all : entry list
+(** In a stable order: appendix, bibliography, hr, flights. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)
+
+val names : unit -> string list
+
+val ground_chase :
+  Relational.Instance.t -> Logic.Tgd.t list -> Relational.Instance.t
+(** The chase of the source under a mapping with labeled nulls replaced by
+    fresh constants ([skN]), consistently within each trigger — how the
+    entries build their target instances. Exposed for tests and for building
+    new entries. *)

@@ -1,0 +1,1 @@
+lib/serialize/document.ml: Candgen Format Fun Instance List Logic Relation Relational Schema Tgd Tuple

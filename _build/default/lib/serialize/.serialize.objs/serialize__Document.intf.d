@@ -1,0 +1,1 @@
+lib/serialize/document.mli: Candgen Format Logic Relational

@@ -1,0 +1,1 @@
+lib/serialize/parser.ml: Atom Buffer Candgen Document Format Fun Instance List Logic Option Relation Relational Schema Str_split String Term Tgd Tuple

@@ -1,0 +1,1 @@
+lib/serialize/parser.mli: Document Format Logic

@@ -1,0 +1,1 @@
+lib/serialize/str_split.mli:

@@ -1,0 +1,56 @@
+open Relational
+open Logic
+
+type t = {
+  source : Schema.t;
+  target : Schema.t;
+  src_fkeys : Candgen.Fkey.t list;
+  tgt_fkeys : Candgen.Fkey.t list;
+  correspondences : Candgen.Correspondence.t list;
+  tgds : Tgd.t list;
+  instance_i : Instance.t;
+  instance_j : Instance.t;
+}
+
+let empty =
+  {
+    source = Schema.empty;
+    target = Schema.empty;
+    src_fkeys = [];
+    tgt_fkeys = [];
+    correspondences = [];
+    tgds = [];
+    instance_i = Instance.empty;
+    instance_j = Instance.empty;
+  }
+
+let pp_relation side ppf r =
+  Format.fprintf ppf "%s relation %a@," side Relation.pp r
+
+let pp_fkey side ppf (fk : Candgen.Fkey.t) =
+  Format.fprintf ppf "%s fkey %s.%s -> %s.%s@," side fk.Candgen.Fkey.from_rel
+    fk.Candgen.Fkey.from_attr fk.Candgen.Fkey.to_rel fk.Candgen.Fkey.to_attr
+
+let pp_tuple side ppf tu = Format.fprintf ppf "%s tuple %a@," side Tuple.pp tu
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_relation "source" ppf) (Schema.relations t.source);
+  List.iter (pp_relation "target" ppf) (Schema.relations t.target);
+  List.iter (pp_fkey "source" ppf) t.src_fkeys;
+  List.iter (pp_fkey "target" ppf) t.tgt_fkeys;
+  List.iter
+    (fun c -> Format.fprintf ppf "correspondence %a@," Candgen.Correspondence.pp c)
+    t.correspondences;
+  List.iter (fun tgd -> Format.fprintf ppf "tgd %a@," Tgd.pp tgd) t.tgds;
+  Instance.iter (fun tu -> pp_tuple "source" ppf tu) t.instance_i;
+  Instance.iter (fun tu -> pp_tuple "target" ppf tu) t.instance_j;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

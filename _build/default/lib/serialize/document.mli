@@ -1,0 +1,41 @@
+(** The textual scenario format.
+
+    A document bundles everything a selection run needs: the two schemas,
+    foreign keys, correspondences, candidate tgds and the data example. The
+    format is line-oriented:
+
+    {v
+    # comment
+    source relation proj(pname, emp, org)
+    target relation task(pname, emp, oid)
+    target fkey task.oid -> org.oid
+    correspondence proj.pname ~> task.pname
+    tgd theta1: proj(P, E, O) -> task(P, E, T)
+    source tuple proj(BigData, Bob, IBM)
+    target tuple task(ML, Alice, 111)
+    v}
+
+    In tgd atoms, identifiers starting with an uppercase letter or
+    underscore are variables; everything else is a constant. Tuple values
+    are always constants. *)
+
+type t = {
+  source : Relational.Schema.t;
+  target : Relational.Schema.t;
+  src_fkeys : Candgen.Fkey.t list;
+  tgt_fkeys : Candgen.Fkey.t list;
+  correspondences : Candgen.Correspondence.t list;
+  tgds : Logic.Tgd.t list;
+  instance_i : Relational.Instance.t;
+  instance_j : Relational.Instance.t;
+}
+
+val empty : t
+
+val pp : Format.formatter -> t -> unit
+(** Renders a document in the textual format; [Parser.parse] inverts it. *)
+
+val to_string : t -> string
+
+val save : string -> t -> unit
+(** Writes to a file. *)

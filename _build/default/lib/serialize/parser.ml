@@ -1,0 +1,221 @@
+open Relational
+open Logic
+
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Fail of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Fail msg)) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+(* Split "rel(a, b, c)" into ("rel", ["a"; "b"; "c"]). *)
+let parse_application s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> fail "expected '(' in %s" s
+  | Some i ->
+    if not (String.length s > 0 && s.[String.length s - 1] = ')') then
+      fail "expected ')' at the end of %s" s;
+    let name = String.trim (String.sub s 0 i) in
+    let inside = String.sub s (i + 1) (String.length s - i - 2) in
+    if String.equal name "" then fail "empty relation name in %s" s;
+    String.iter
+      (fun c -> if not (is_ident_char c) then fail "bad relation name %s" name)
+      name;
+    let args =
+      if String.trim inside = "" then []
+      else
+        String.split_on_char ',' inside
+        |> List.map (fun a ->
+               let a = String.trim a in
+               if a = "" then fail "empty argument in %s" s;
+               String.iter
+                 (fun c ->
+                   if not (is_ident_char c) then
+                     fail "bad argument %S in %s" a s)
+                 a;
+               a)
+    in
+    (name, args)
+
+(* "rel.attr" *)
+let parse_qualified s =
+  match String.split_on_char '.' (String.trim s) with
+  | [ rel; attr ] when rel <> "" && attr <> "" -> (rel, attr)
+  | _ -> fail "expected rel.attr, got %s" s
+
+let term_of_string a =
+  if a = "" then fail "empty term"
+  else
+    match a.[0] with
+    | 'A' .. 'Z' | '_' -> Term.Var a
+    | 'a' .. 'z' | '0' .. '9' | '-' -> Term.Cst a
+    | c -> fail "bad term start %c" c
+
+let parse_atoms s =
+  (* split a conjunction "a(X), b(Y, Z)" on commas at paren depth 0 *)
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      | _ -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+  |> List.map (fun part ->
+         let name, args = parse_application part in
+         Atom.make name (List.map term_of_string args))
+
+let parse_tgd_exn s =
+  let label, rest =
+    match String.index_opt s ':' with
+    | Some i ->
+      (String.trim (String.sub s 0 i),
+       String.sub s (i + 1) (String.length s - i - 1))
+    | None -> ("tgd", s)
+  in
+  (* split on "->" at paren depth 0 *)
+  let arrow = ref None in
+  let depth = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '(' -> incr depth
+      | ')' -> decr depth
+      | '-'
+        when !depth = 0 && !arrow = None
+             && i + 1 < String.length rest
+             && rest.[i + 1] = '>' ->
+        arrow := Some i
+      | _ -> ())
+    rest;
+  match !arrow with
+  | None -> fail "tgd needs '->'"
+  | Some i ->
+    let body = String.sub rest 0 i in
+    let head = String.sub rest (i + 2) (String.length rest - i - 2) in
+    Tgd.make ~label ~body:(parse_atoms body) ~head:(parse_atoms head) ()
+
+let parse_tgd s = match parse_tgd_exn s with t -> Ok t | exception Fail m -> Error m
+
+let strip_prefix prefix s =
+  let lp = String.length prefix in
+  if String.length s >= lp && String.equal (String.sub s 0 lp) prefix then
+    Some (String.trim (String.sub s lp (String.length s - lp)))
+  else None
+
+let parse_fkey rest =
+  match Str_split.split_on_substring "->" rest with
+  | [ from_; to_ ] ->
+    Candgen.Fkey.make ~from:(parse_qualified from_) ~to_:(parse_qualified to_)
+  | _ -> fail "fkey needs exactly one '->'"
+
+let parse_corr rest =
+  match Str_split.split_on_substring "~>" rest with
+  | [ src; tgt ] ->
+    Candgen.Correspondence.make ~src:(parse_qualified src)
+      ~tgt:(parse_qualified tgt)
+  | _ -> fail "correspondence needs exactly one '~>'"
+
+let add_tuple which rest (doc : Document.t) =
+  let rel, args = parse_application rest in
+  let schema, side =
+    match which with
+    | `Source -> (doc.Document.source, "source")
+    | `Target -> (doc.Document.target, "target")
+  in
+  (match Schema.find_opt schema rel with
+  | None -> fail "tuple of unknown %s relation %s" side rel
+  | Some r ->
+    if Relation.arity r <> List.length args then
+      fail "arity mismatch for %s (%d expected, %d given)" rel
+        (Relation.arity r) (List.length args));
+  let tu = Tuple.of_consts rel args in
+  match which with
+  | `Source -> { doc with Document.instance_i = Instance.add tu doc.Document.instance_i }
+  | `Target -> { doc with Document.instance_j = Instance.add tu doc.Document.instance_j }
+
+let parse_line doc line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then doc
+  else
+    let try_directive (prefix, handle) acc =
+      match acc with
+      | Some _ -> acc
+      | None -> Option.map handle (strip_prefix prefix line)
+    in
+    let directives =
+      [
+        ( "source relation",
+          fun rest ->
+            let name, attrs = parse_application rest in
+            { doc with
+              Document.source = Schema.add (Relation.make name attrs) doc.Document.source
+            } );
+        ( "target relation",
+          fun rest ->
+            let name, attrs = parse_application rest in
+            { doc with
+              Document.target = Schema.add (Relation.make name attrs) doc.Document.target
+            } );
+        ( "source fkey",
+          fun rest ->
+            { doc with Document.src_fkeys = doc.Document.src_fkeys @ [ parse_fkey rest ] } );
+        ( "target fkey",
+          fun rest ->
+            { doc with Document.tgt_fkeys = doc.Document.tgt_fkeys @ [ parse_fkey rest ] } );
+        ( "correspondence",
+          fun rest ->
+            { doc with
+              Document.correspondences = doc.Document.correspondences @ [ parse_corr rest ]
+            } );
+        ("tgd", fun rest -> { doc with Document.tgds = doc.Document.tgds @ [ parse_tgd_exn rest ] });
+        ("source tuple", fun rest -> add_tuple `Source rest doc);
+        ("target tuple", fun rest -> add_tuple `Target rest doc);
+      ]
+    in
+    match List.fold_right try_directive directives None with
+    | Some doc -> doc
+    | None -> fail "unknown directive: %s" line
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop doc n = function
+    | [] -> Ok doc
+    | line :: rest -> (
+      match parse_line doc line with
+      | doc -> loop doc (n + 1) rest
+      | exception Fail message -> Error { line = n; message }
+      | exception Invalid_argument message -> Error { line = n; message })
+  in
+  loop Document.empty 1 lines
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse text

@@ -1,0 +1,21 @@
+(** Parser for the textual scenario format of {!Document}. *)
+
+type error = {
+  line : int;  (** 1-based line number *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Document.t, error) result
+(** Parses a whole document. Unknown directives, malformed atoms, tuples of
+    unknown relations and arity mismatches are reported with their line
+    number. *)
+
+val parse_file : string -> (Document.t, error) result
+(** Raises [Sys_error] if the file cannot be read. *)
+
+val parse_tgd : string -> (Logic.Tgd.t, string) result
+(** Parses a single tgd body, e.g.
+    ["theta1: proj(P, E, O) -> task(P, E, T)"] (the [tgd] keyword is not
+    part of the input). Exposed for the CLI. *)

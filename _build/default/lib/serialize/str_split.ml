@@ -1,0 +1,10 @@
+let split_on_substring sep s =
+  if sep = "" then invalid_arg "Str_split.split_on_substring: empty separator";
+  let ls = String.length sep and n = String.length s in
+  let rec loop start i acc =
+    if i + ls > n then List.rev (String.trim (String.sub s start (n - start)) :: acc)
+    else if String.equal (String.sub s i ls) sep then
+      loop (i + ls) (i + ls) (String.trim (String.sub s start (i - start)) :: acc)
+    else loop start (i + 1) acc
+  in
+  loop 0 0 []

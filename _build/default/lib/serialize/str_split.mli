@@ -1,0 +1,6 @@
+(** String splitting on multi-character separators (stdlib only splits on
+    single characters). *)
+
+val split_on_substring : string -> string -> string list
+(** [split_on_substring sep s] splits [s] at every occurrence of [sep];
+    pieces are trimmed. [sep] must be non-empty. *)

@@ -1,0 +1,1 @@
+lib/util/frac.ml: Format Int List Stdlib

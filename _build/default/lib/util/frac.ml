@@ -1,0 +1,63 @@
+type t = {
+  num : int;
+  den : int;  (* invariant: den > 0, gcd (|num|, den) = 1 *)
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then invalid_arg "Frac.make: zero denominator";
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let zero = { num = 0; den = 1 }
+
+let one = { num = 1; den = 1 }
+
+let of_int n = { num = n; den = 1 }
+
+let num t = t.num
+
+let den t = t.den
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+
+let sub a b = add a { b with num = -b.num }
+
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b = if b.num = 0 then raise Division_by_zero else make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+
+let compare a b = Int.compare (a.num * b.den) (b.num * a.den)
+
+let equal a b = compare a b = 0
+
+let min a b = if compare a b <= 0 then a else b
+
+let max a b = if compare a b >= 0 then a else b
+
+let ( < ) a b = compare a b < 0
+
+let ( <= ) a b = compare a b <= 0
+
+let sum l = List.fold_left add zero l
+
+let is_zero a = a.num = 0
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let pp ppf a =
+  if a.den = 1 then Format.pp_print_int ppf a.num
+  else if Stdlib.( < ) (abs a.num) a.den then
+    Format.fprintf ppf "%d/%d" a.num a.den
+  else begin
+    let whole = a.num / a.den in
+    let rest = abs (a.num mod a.den) in
+    Format.fprintf ppf "%d %d/%d" whole rest a.den
+  end
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,62 @@
+(** Exact rational arithmetic on machine integers.
+
+    Coverage degrees and objective values in the selection problem are small
+    rationals (sums of [k/arity] terms); representing them exactly lets tests
+    compare against the paper's numbers without epsilons, and lets reports
+    print values such as [7 1/3] the way the paper's appendix does.
+
+    Numerators and denominators stay tiny in this workload, so machine
+    integers suffice; operations normalise eagerly. *)
+
+type t
+
+val zero : t
+
+val one : t
+
+val of_int : int -> t
+
+val make : int -> int -> t
+(** [make num den] is the normalised fraction [num/den]. Raises
+    [Invalid_argument] if [den = 0]. *)
+
+val num : t -> int
+(** Numerator of the normal form (sign lives here). *)
+
+val den : t -> int
+(** Denominator of the normal form; always positive. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val neg : t -> t
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val sum : t list -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val is_zero : t -> bool
+
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Prints integers plainly, proper fractions as [n/d], and mixed numbers as
+    [w n/d] (e.g. [7 1/3]), matching the paper's table style. *)
+
+val to_string : t -> string

@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let sorted xs = List.sort Float.compare xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+    let n = List.length s in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int n)) |> Stdlib.max 1 |> Stdlib.min n
+    in
+    List.nth s (rank - 1)
+
+let median xs = percentile 50. xs
+
+let fmean f xs = mean (List.map f xs)
+
+let harmonic a b = if a = 0. || b = 0. then 0. else 2. *. a *. b /. (a +. b)

@@ -1,0 +1,19 @@
+(** Small numerical helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    points. *)
+
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank method. *)
+
+val fmean : ('a -> float) -> 'a list -> float
+(** Mean of a projection. *)
+
+val harmonic : float -> float -> float
+(** Harmonic mean of two numbers; 0 when either is 0 (the F1 convention). *)

@@ -1,0 +1,8 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. start)
+
+let time_ms f =
+  let x, s = time f in
+  (x, s *. 1000.)

@@ -1,0 +1,8 @@
+(** Wall-clock timing helper for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** Like {!time}, in milliseconds. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Atom Instance List Logic Printf QCheck2 Relation Relational Schema Term Tgd Tuple Value

@@ -1,0 +1,1 @@
+test/test_candgen.ml: Alcotest Assoc Atom Candgen Correspondence Fixtures Fkey Format Generate Instance List Logic Matcher Option Printf Relation Relational Schema String Term Tgd Tuple Value

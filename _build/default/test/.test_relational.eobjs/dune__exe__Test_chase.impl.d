@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Atom Chase Cq Fixtures Gen Instance List Logic Null_source QCheck2 QCheck_alcotest Relation Relational Result Schema String_set Term Test Tgd Tuple Value

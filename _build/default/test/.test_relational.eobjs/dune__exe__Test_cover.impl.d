@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Cover Fixtures Frac Gen Instance List Logic Printf QCheck2 QCheck_alcotest Relational Stdlib Test Tuple Util Value

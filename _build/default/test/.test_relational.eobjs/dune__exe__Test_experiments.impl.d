@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Frac List Printf String Util

@@ -1,0 +1,1 @@
+test/test_ibench.ml: Alcotest Chase Config Cover Format Fun Gen Generator Ibench Instance Int List Logic Primitive Printf QCheck2 QCheck_alcotest Random Relational Scenario Schema Test Tuple

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Atom Containment Cq Fixtures Gen Instance List Logic QCheck2 QCheck_alcotest Relation Relational Schema String_set Subst Term Test Tgd Tuple Value

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Core Fixtures Logic Metrics Problem

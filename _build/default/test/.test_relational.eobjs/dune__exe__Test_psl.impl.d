@@ -1,0 +1,1 @@
+test/test_psl.ml: Admm Alcotest Array Database Format Gatom Gradient Grounding Hlmrf Learn Linexpr List Option Predicate Printf Program Psl QCheck2 QCheck_alcotest Result Rule String Test

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Bitset Csv Fixtures Frac Gen Instance List QCheck2 QCheck_alcotest Relation Relational Result Schema Stats Test Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Candgen Core Instance List Logic Metrics Option Relational Scenarios Serialize String Tuple Util Value Zoo

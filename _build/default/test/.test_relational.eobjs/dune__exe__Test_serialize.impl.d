@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Candgen Document Filename Fixtures Fun Ibench Instance List Logic Parser Psl Relational Result Schema Serialize Str_split String Sys

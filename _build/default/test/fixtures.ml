@@ -1,0 +1,117 @@
+(* Shared test fixtures: the appendix's running example and qcheck
+   generators for random relational objects. *)
+
+open Relational
+open Logic
+
+let v x = Term.Var x
+
+let c x = Term.Cst x
+
+(* --- the appendix example --------------------------------------------- *)
+
+(* Source: proj(pname, emp, org); target: task(pname, emp, oid),
+   org(oid, oname). Reconstructed so that every number in the appendix's
+   worked table is reproduced exactly. *)
+
+let source_schema =
+  Schema.of_relations [ Relation.make "proj" [ "pname"; "emp"; "org" ] ]
+
+let target_schema =
+  Schema.of_relations
+    [
+      Relation.make "task" [ "pname"; "emp"; "oid" ];
+      Relation.make "org" [ "oid"; "oname" ];
+    ]
+
+let instance_i =
+  Instance.of_tuples
+    [
+      Tuple.of_consts "proj" [ "BigData"; "Bob"; "IBM" ];
+      Tuple.of_consts "proj" [ "ML"; "Alice"; "SAP" ];
+    ]
+
+let instance_j =
+  Instance.of_tuples
+    [
+      Tuple.of_consts "task" [ "ML"; "Alice"; "111" ];
+      Tuple.of_consts "org" [ "111"; "SAP" ];
+      Tuple.of_consts "task" [ "Social"; "Carl"; "222" ];
+      Tuple.of_consts "org" [ "222"; "MSR" ];
+    ]
+
+let theta1 =
+  Tgd.make ~label:"theta1"
+    ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+    ~head:[ Atom.make "task" [ v "P"; v "E"; v "T" ] ]
+    ()
+
+let theta3 =
+  Tgd.make ~label:"theta3"
+    ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+    ~head:
+      [
+        Atom.make "task" [ v "P"; v "E"; v "T" ];
+        Atom.make "org" [ v "T"; v "O" ];
+      ]
+    ()
+
+(* The appendix's extension: [n] extra ML-like projects, i.e. pairs
+   proj(Xi, Alice, SAP) in I and task(Xi, Alice, 111) in J. With n >= 5 the
+   preferred mapping flips from {} to {theta3}. *)
+let extended_example n =
+  let name i = Printf.sprintf "Proj%d" i in
+  let i' =
+    List.fold_left
+      (fun acc k ->
+        Instance.add (Tuple.of_consts "proj" [ name k; "Alice"; "SAP" ]) acc)
+      instance_i
+      (List.init n (fun k -> k))
+  in
+  let j' =
+    List.fold_left
+      (fun acc k ->
+        Instance.add (Tuple.of_consts "task" [ name k; "Alice"; "111" ]) acc)
+      instance_j
+      (List.init n (fun k -> k))
+  in
+  (i', j')
+
+(* --- qcheck generators ------------------------------------------------ *)
+
+let small_value_gen =
+  QCheck2.Gen.(map (fun i -> Value.Const (Printf.sprintf "c%d" i)) (int_range 0 5))
+
+let tuple_gen ~rel ~arity =
+  QCheck2.Gen.(
+    map (fun vs -> Tuple.make rel vs) (list_size (return arity) small_value_gen))
+
+(* A random ground instance over relations r2/2 and r3/3. *)
+let instance_gen =
+  QCheck2.Gen.(
+    let* twos = list_size (int_range 0 8) (tuple_gen ~rel:"r2" ~arity:2) in
+    let* threes = list_size (int_range 0 8) (tuple_gen ~rel:"r3" ~arity:3) in
+    return (Instance.of_tuples (twos @ threes)))
+
+(* A random conjunctive query over r2/2 and r3/3 with variables from a small
+   pool (shared variables make real joins likely). *)
+let cq_gen =
+  QCheck2.Gen.(
+    let var_pool = [ "X"; "Y"; "Z"; "W" ] in
+    let term_gen =
+      frequency
+        [
+          (3, map (fun i -> Term.Var (List.nth var_pool i)) (int_range 0 3));
+          (1, map (fun i -> Term.Cst (Printf.sprintf "c%d" i)) (int_range 0 5));
+        ]
+    in
+    let atom_gen =
+      let* which = bool in
+      if which then
+        let* a = term_gen and* b = term_gen in
+        return (Atom.make "r2" [ a; b ])
+      else
+        let* a = term_gen and* b = term_gen and* c = term_gen in
+        return (Atom.make "r3" [ a; b; c ])
+    in
+    list_size (int_range 1 3) atom_gen)

@@ -1,0 +1,316 @@
+open Relational
+open Logic
+open Candgen
+
+let v = Fixtures.v
+
+(* The appendix schemas plus the target foreign key task.oid -> org.oid that
+   makes {task, org} a logical association. *)
+let tgt_fkeys = [ Fkey.make ~from:("task", "oid") ~to_:("org", "oid") ]
+
+let corrs =
+  [
+    Correspondence.make ~src:("proj", "pname") ~tgt:("task", "pname");
+    Correspondence.make ~src:("proj", "emp") ~tgt:("task", "emp");
+    Correspondence.make ~src:("proj", "org") ~tgt:("org", "oname");
+  ]
+
+let fkey_tests =
+  [
+    Alcotest.test_case "validate" `Quick (fun () ->
+        let fk = List.hd tgt_fkeys in
+        Alcotest.(check bool)
+          "ok" true
+          (Fkey.validate Fixtures.target_schema fk = Ok ());
+        let bad = Fkey.make ~from:("task", "nope") ~to_:("org", "oid") in
+        Alcotest.(check bool)
+          "bad attr" true
+          (Fkey.validate Fixtures.target_schema bad <> Ok ()));
+    Alcotest.test_case "outgoing" `Quick (fun () ->
+        Alcotest.(check int) "task" 1 (List.length (Fkey.outgoing tgt_fkeys "task"));
+        Alcotest.(check int) "org" 0 (List.length (Fkey.outgoing tgt_fkeys "org")));
+  ]
+
+let correspondence_tests =
+  [
+    Alcotest.test_case "validate endpoints" `Quick (fun () ->
+        Alcotest.(check bool)
+          "ok" true
+          (Correspondence.validate ~source:Fixtures.source_schema
+             ~target:Fixtures.target_schema (List.hd corrs)
+          = Ok ());
+        let bad = Correspondence.make ~src:("proj", "zz") ~tgt:("task", "pname") in
+        Alcotest.(check bool)
+          "bad" true
+          (Correspondence.validate ~source:Fixtures.source_schema
+             ~target:Fixtures.target_schema bad
+          <> Ok ()));
+  ]
+
+let assoc_tests =
+  [
+    Alcotest.test_case "fkey closure joins task with org" `Quick (fun () ->
+        let a =
+          Assoc.of_relation ~schema:Fixtures.target_schema ~fkeys:tgt_fkeys "task"
+        in
+        Alcotest.(check (list string)) "relations" [ "task"; "org" ] a.Assoc.relations;
+        (* the join variable is shared between task.oid and org.oid *)
+        let v1 = Option.get (Assoc.var_of a "task" "oid") in
+        let v2 = Option.get (Assoc.var_of a "org" "oid") in
+        Alcotest.(check string) "joined" v1 v2);
+    Alcotest.test_case "relation without outgoing fkeys is a singleton" `Quick
+      (fun () ->
+        let a =
+          Assoc.of_relation ~schema:Fixtures.target_schema ~fkeys:tgt_fkeys "org"
+        in
+        Alcotest.(check (list string)) "relations" [ "org" ] a.Assoc.relations);
+    Alcotest.test_case "cyclic foreign keys terminate" `Quick (fun () ->
+        let schema =
+          Schema.of_relations
+            [ Relation.make "a" [ "x"; "y" ]; Relation.make "b" [ "u"; "w" ] ]
+        in
+        let fkeys =
+          [
+            Fkey.make ~from:("a", "y") ~to_:("b", "u");
+            Fkey.make ~from:("b", "w") ~to_:("a", "x");
+          ]
+        in
+        let a = Assoc.of_relation ~schema ~fkeys "a" in
+        Alcotest.(check int) "two relations" 2 (List.length a.Assoc.relations);
+        (* cycle also unifies b.w with a.x *)
+        let v1 = Option.get (Assoc.var_of a "b" "w") in
+        let v2 = Option.get (Assoc.var_of a "a" "x") in
+        Alcotest.(check string) "cycle join" v1 v2);
+    Alcotest.test_case "all produces one association per relation" `Quick
+      (fun () ->
+        let assocs = Assoc.all ~schema:Fixtures.target_schema ~fkeys:tgt_fkeys in
+        Alcotest.(check int) "two" 2 (List.length assocs));
+  ]
+
+let generate_candidates () =
+  Generate.generate ~source:Fixtures.source_schema ~target:Fixtures.target_schema
+    ~src_fkeys:[] ~tgt_fkeys ~corrs
+
+let generate_tests =
+  [
+    Alcotest.test_case "appendix candidates: join tgd and partial org tgd"
+      `Quick (fun () ->
+        let cands = generate_candidates () in
+        Alcotest.(check int) "two candidates" 2 (List.length cands);
+        Alcotest.(check bool)
+          "theta3 generated" true
+          (List.exists (Tgd.equal_up_to_renaming Fixtures.theta3) cands));
+    Alcotest.test_case "no correspondences, no candidates" `Quick (fun () ->
+        let cands =
+          Generate.generate ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema ~src_fkeys:[] ~tgt_fkeys ~corrs:[]
+        in
+        Alcotest.(check int) "none" 0 (List.length cands));
+    Alcotest.test_case "candidates are well-formed" `Quick (fun () ->
+        List.iter
+          (fun tgd ->
+            Alcotest.(check bool)
+              "well-formed" true
+              (Tgd.well_formed ~source:Fixtures.source_schema
+                 ~target:Fixtures.target_schema tgd
+              = Ok ()))
+          (generate_candidates ()));
+    Alcotest.test_case "labels are theta1..thetaN" `Quick (fun () ->
+        List.iteri
+          (fun i (tgd : Tgd.t) ->
+            Alcotest.(check string)
+              "label"
+              (Printf.sprintf "theta%d" (i + 1))
+              tgd.Tgd.label)
+          (generate_candidates ()));
+    Alcotest.test_case "without the target fkey, no join candidate" `Quick
+      (fun () ->
+        let cands =
+          Generate.generate ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema ~src_fkeys:[] ~tgt_fkeys:[] ~corrs
+        in
+        (* associations are singletons: proj->task and proj->org only *)
+        Alcotest.(check int) "two" 2 (List.length cands);
+        Alcotest.(check bool)
+          "no theta3" false
+          (List.exists (Tgd.equal_up_to_renaming Fixtures.theta3) cands);
+        Alcotest.(check bool)
+          "theta1 present" true
+          (List.exists (Tgd.equal_up_to_renaming Fixtures.theta1) cands));
+    Alcotest.test_case "duplicate correspondences do not duplicate candidates"
+      `Quick (fun () ->
+        let cands =
+          Generate.generate ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema ~src_fkeys:[] ~tgt_fkeys
+            ~corrs:(corrs @ corrs)
+        in
+        Alcotest.(check int) "still two" 2 (List.length cands));
+  ]
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "correspondences_of_tgd recovers the evidence" `Quick
+      (fun () ->
+        let got =
+          Generate.correspondences_of_tgd ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema Fixtures.theta3
+        in
+        Alcotest.(check int) "three" 3 (List.length got);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a expected" Correspondence.pp c)
+              true
+              (List.exists (Correspondence.equal c)
+                 (Correspondence.make ~src:("proj", "org") ~tgt:("org", "oname")
+                 :: corrs)))
+          got);
+    Alcotest.test_case "constants induce no correspondences" `Quick (fun () ->
+        let tgd =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; Term.Cst "Bob"; v "O" ] ]
+            ~head:[ Atom.make "org" [ v "O"; Term.Cst "IBM" ] ]
+            ()
+        in
+        let got =
+          Generate.correspondences_of_tgd ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema tgd
+        in
+        Alcotest.(check int) "one" 1 (List.length got));
+  ]
+
+let matcher_tests =
+  [
+    Alcotest.test_case "levenshtein" `Quick (fun () ->
+        Alcotest.(check int) "identical" 0 (Matcher.levenshtein "abc" "abc");
+        Alcotest.(check int) "kitten/sitting" 3 (Matcher.levenshtein "kitten" "sitting");
+        Alcotest.(check int) "empty" 3 (Matcher.levenshtein "" "abc"));
+    Alcotest.test_case "similarity is normalised and case-insensitive" `Quick
+      (fun () ->
+        Alcotest.(check (float 1e-9)) "equal" 1.0 (Matcher.similarity "Name" "name");
+        Alcotest.(check (float 1e-9)) "empty pair" 1.0 (Matcher.similarity "" "");
+        Alcotest.(check bool)
+          "bounded" true
+          (let s = Matcher.similarity "pname" "zzzzz" in
+           s >= 0. && s <= 1.));
+    Alcotest.test_case "propose finds renamed attributes" `Quick (fun () ->
+        (* target attributes are near-copies of the source ones *)
+        let source =
+          Schema.of_relations [ Relation.make "projects" [ "pname"; "emp"; "org" ] ]
+        in
+        let target =
+          Schema.of_relations [ Relation.make "tasks" [ "pname"; "employee"; "oid" ] ]
+        in
+        let corrs = Matcher.propose ~threshold:0.6 ~source ~target () in
+        let has src tgt =
+          List.exists
+            (fun (c : Correspondence.t) ->
+              String.equal c.Correspondence.src_attr src
+              && String.equal c.Correspondence.tgt_attr tgt)
+            corrs
+        in
+        Alcotest.(check bool) "pname" true (has "pname" "pname");
+        Alcotest.(check bool) "employee" true (has "emp" "employee"));
+    Alcotest.test_case "one match per target attribute per source relation"
+      `Quick (fun () ->
+        (* both source relations may map into t.name, but each only once,
+           even though s1 has two name-like attributes *)
+        let source =
+          Schema.of_relations
+            [ Relation.make "s1" [ "name"; "names" ]; Relation.make "s2" [ "name" ] ]
+        in
+        let target = Schema.of_relations [ Relation.make "t" [ "name" ] ] in
+        Alcotest.(check int)
+          "two" 2
+          (List.length (Matcher.propose ~source ~target ())));
+    Alcotest.test_case "threshold filters weak matches" `Quick (fun () ->
+        let source = Schema.of_relations [ Relation.make "s" [ "abcdef" ] ] in
+        let target = Schema.of_relations [ Relation.make "t" [ "zzzzzz" ] ] in
+        Alcotest.(check int)
+          "none" 0
+          (List.length (Matcher.propose ~source ~target ())));
+    Alcotest.test_case "matcher output feeds candidate generation" `Quick
+      (fun () ->
+        (* end to end: matcher -> Clio-style generation on the appendix
+           schemas (attribute names overlap) *)
+        let corrs =
+          Matcher.propose ~threshold:0.7 ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema ()
+        in
+        let cands =
+          Generate.generate ~source:Fixtures.source_schema
+            ~target:Fixtures.target_schema ~src_fkeys:[] ~tgt_fkeys ~corrs
+        in
+        Alcotest.(check bool) "some candidates" true (cands <> []));
+  ]
+
+let data_matcher_tests =
+  [
+    Alcotest.test_case "jaccard" `Quick (fun () ->
+        let set l = Value.Set.of_list (List.map (fun c -> Value.Const c) l) in
+        Alcotest.(check (float 1e-9)) "overlap" 0.5
+          (Matcher.jaccard (set [ "a"; "b"; "c" ]) (set [ "b"; "c"; "d" ]));
+        Alcotest.(check (float 1e-9)) "empty" 1.0
+          (Matcher.jaccard (set []) (set []));
+        Alcotest.(check (float 1e-9)) "disjoint" 0.0
+          (Matcher.jaccard (set [ "a" ]) (set [ "b" ])));
+    Alcotest.test_case "column_values skips nulls" `Quick (fun () ->
+        let r = Relation.make "r" [ "a"; "b" ] in
+        let inst =
+          Instance.of_tuples
+            [
+              Tuple.make "r" [ Value.Const "x"; Value.Null 0 ];
+              Tuple.of_consts "r" [ "y"; "z" ];
+            ]
+        in
+        Alcotest.(check int) "a col" 2 (Value.Set.cardinal (Matcher.column_values inst r "a"));
+        Alcotest.(check int) "b col" 1 (Value.Set.cardinal (Matcher.column_values inst r "b")));
+    Alcotest.test_case "propose_from_data finds value-overlapping columns"
+      `Quick (fun () ->
+        (* opaque attribute names, shared values *)
+        let source = Schema.of_relations [ Relation.make "s" [ "c1"; "c2" ] ] in
+        let target = Schema.of_relations [ Relation.make "t" [ "k1"; "k2" ] ] in
+        let source_inst =
+          Instance.of_tuples
+            [ Tuple.of_consts "s" [ "rome"; "it" ]; Tuple.of_consts "s" [ "paris"; "fr" ] ]
+        in
+        let target_inst =
+          Instance.of_tuples
+            [ Tuple.of_consts "t" [ "rome"; "xx" ]; Tuple.of_consts "t" [ "paris"; "yy" ] ]
+        in
+        let corrs =
+          Matcher.propose_from_data ~source ~target ~source_inst ~target_inst ()
+        in
+        Alcotest.(check int) "one match" 1 (List.length corrs);
+        match corrs with
+        | [ c ] ->
+          Alcotest.(check string) "src col" "c1" c.Correspondence.src_attr;
+          Alcotest.(check string) "tgt col" "k1" c.Correspondence.tgt_attr
+        | _ -> Alcotest.fail "unexpected");
+    Alcotest.test_case "threshold filters weak overlap" `Quick (fun () ->
+        let source = Schema.of_relations [ Relation.make "s" [ "c" ] ] in
+        let target = Schema.of_relations [ Relation.make "t" [ "k" ] ] in
+        let source_inst =
+          Instance.of_tuples (List.init 10 (fun i -> Tuple.of_consts "s" [ string_of_int i ]))
+        in
+        let target_inst =
+          Instance.of_tuples [ Tuple.of_consts "t" [ "0" ]; Tuple.of_consts "t" [ "99" ] ]
+        in
+        (* overlap 1 of 11 < default threshold *)
+        Alcotest.(check int)
+          "filtered" 0
+          (List.length
+             (Matcher.propose_from_data ~source ~target ~source_inst ~target_inst ())));
+  ]
+
+let () =
+  Alcotest.run "candgen"
+    [
+      ("fkey", fkey_tests);
+      ("correspondence", correspondence_tests);
+      ("assoc", assoc_tests);
+      ("generate", generate_tests);
+      ("roundtrip", roundtrip_tests);
+      ("matcher", matcher_tests);
+      ("data-matcher", data_matcher_tests);
+    ]

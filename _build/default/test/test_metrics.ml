@@ -1,0 +1,80 @@
+open Core
+
+let close = Alcotest.float 1e-6
+
+let appendix_problem () =
+  Problem.make ~source:Fixtures.instance_i ~j:Fixtures.instance_j
+    [ Fixtures.theta1; Fixtures.theta3 ]
+
+let tuple_level_tests =
+  [
+    Alcotest.test_case "empty selection: recall 0, precision 1" `Quick
+      (fun () ->
+        let p = appendix_problem () in
+        let s = Metrics.tuple_level p (Problem.selection_of_indices p []) in
+        Alcotest.check close "recall" 0. s.Metrics.recall;
+        Alcotest.check close "precision" 1. s.Metrics.precision;
+        Alcotest.check close "f1" 0. s.Metrics.f1);
+    Alcotest.test_case "theta1: recall (2/3)/4, precision 1/2" `Quick
+      (fun () ->
+        let p = appendix_problem () in
+        let s = Metrics.tuple_level p (Problem.selection_of_indices p [ 0 ]) in
+        (* coverage mass 2/3 over 4 tuples; 2 produced, 1 error *)
+        Alcotest.check close "recall" (2. /. 3. /. 4.) s.Metrics.recall;
+        Alcotest.check close "precision" 0.5 s.Metrics.precision);
+    Alcotest.test_case "theta3: recall 2/4, precision 2/4" `Quick (fun () ->
+        let p = appendix_problem () in
+        let s = Metrics.tuple_level p (Problem.selection_of_indices p [ 1 ]) in
+        Alcotest.check close "recall" 0.5 s.Metrics.recall;
+        Alcotest.check close "precision" 0.5 s.Metrics.precision;
+        Alcotest.check close "f1" 0.5 s.Metrics.f1);
+    Alcotest.test_case "extension: theta3 reaches high recall" `Quick
+      (fun () ->
+        let i', j' = Fixtures.extended_example 5 in
+        let p = Problem.make ~source:i' ~j:j' [ Fixtures.theta1; Fixtures.theta3 ] in
+        let s = Metrics.tuple_level p (Problem.selection_of_indices p [ 1 ]) in
+        (* 7 of 9 tuples fully explained; 12 of 14 produced tuples land *)
+        Alcotest.check close "recall" (7. /. 9.) s.Metrics.recall;
+        Alcotest.check close "precision" (12. /. 14.) s.Metrics.precision);
+  ]
+
+let mapping_level_tests =
+  [
+    Alcotest.test_case "perfect selection" `Quick (fun () ->
+        let cands = [ Fixtures.theta1; Fixtures.theta3 ] in
+        let s =
+          Metrics.mapping_level ~candidates:cands ~truth:[ Fixtures.theta3 ]
+            [| false; true |]
+        in
+        Alcotest.check close "precision" 1. s.Metrics.precision;
+        Alcotest.check close "recall" 1. s.Metrics.recall;
+        Alcotest.check close "f1" 1. s.Metrics.f1);
+    Alcotest.test_case "half precision" `Quick (fun () ->
+        let cands = [ Fixtures.theta1; Fixtures.theta3 ] in
+        let s =
+          Metrics.mapping_level ~candidates:cands ~truth:[ Fixtures.theta3 ]
+            [| true; true |]
+        in
+        Alcotest.check close "precision" 0.5 s.Metrics.precision;
+        Alcotest.check close "recall" 1. s.Metrics.recall);
+    Alcotest.test_case "empty selection is vacuously precise" `Quick (fun () ->
+        let cands = [ Fixtures.theta1 ] in
+        let s =
+          Metrics.mapping_level ~candidates:cands ~truth:[ Fixtures.theta3 ]
+            [| false |]
+        in
+        Alcotest.check close "precision" 1. s.Metrics.precision;
+        Alcotest.check close "recall" 0. s.Metrics.recall;
+        Alcotest.check close "f1" 0. s.Metrics.f1);
+    Alcotest.test_case "renamed truth still matches" `Quick (fun () ->
+        let renamed = Logic.Tgd.rename_apart ~suffix:"_z" Fixtures.theta3 in
+        let s =
+          Metrics.mapping_level ~candidates:[ Fixtures.theta3 ] ~truth:[ renamed ]
+            [| true |]
+        in
+        Alcotest.check close "recall" 1. s.Metrics.recall);
+  ]
+
+let () =
+  Alcotest.run "metrics"
+    [ ("tuple-level", tuple_level_tests); ("mapping-level", mapping_level_tests) ]

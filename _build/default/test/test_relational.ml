@@ -1,0 +1,299 @@
+open Relational
+
+let tup = Alcotest.testable Tuple.pp Tuple.equal
+
+let value_tests =
+  [
+    Alcotest.test_case "const before null" `Quick (fun () ->
+        Alcotest.(check bool)
+          "Const < Null" true
+          (Value.compare (Const "zzz") (Null 0) < 0));
+    Alcotest.test_case "null ordering by label" `Quick (fun () ->
+        Alcotest.(check bool) "N1 < N2" true (Value.compare (Null 1) (Null 2) < 0));
+    Alcotest.test_case "pp" `Quick (fun () ->
+        Alcotest.(check string) "const" "abc" (Value.to_string (Const "abc"));
+        Alcotest.(check string) "null" "_N7" (Value.to_string (Null 7)));
+    Alcotest.test_case "is_null / is_const" `Quick (fun () ->
+        Alcotest.(check bool) "null" true (Value.is_null (Null 0));
+        Alcotest.(check bool) "const" true (Value.is_const (Const "x")));
+  ]
+
+let relation_tests =
+  [
+    Alcotest.test_case "make rejects duplicates" `Quick (fun () ->
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Relation.make: duplicate attribute in r")
+          (fun () -> ignore (Relation.make "r" [ "a"; "a" ])));
+    Alcotest.test_case "make rejects empty" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Relation.make: empty attribute list") (fun () ->
+            ignore (Relation.make "r" [])));
+    Alcotest.test_case "attr_index" `Quick (fun () ->
+        let r = Relation.make "r" [ "a"; "b"; "c" ] in
+        Alcotest.(check int) "b" 1 (Relation.attr_index r "b");
+        Alcotest.(check bool) "missing" false (Relation.has_attr r "z"));
+  ]
+
+let schema_tests =
+  [
+    Alcotest.test_case "add conflicting signature fails" `Quick (fun () ->
+        let s = Schema.of_relations [ Relation.make "r" [ "a" ] ] in
+        Alcotest.check_raises "conflict"
+          (Invalid_argument "Schema.add: conflicting signatures for relation r")
+          (fun () -> ignore (Schema.add (Relation.make "r" [ "a"; "b" ]) s)));
+    Alcotest.test_case "add identical is no-op" `Quick (fun () ->
+        let r = Relation.make "r" [ "a" ] in
+        let s = Schema.of_relations [ r ] in
+        Alcotest.(check bool) "equal" true (Schema.equal s (Schema.add r s)));
+    Alcotest.test_case "union" `Quick (fun () ->
+        let s1 = Schema.of_relations [ Relation.make "r" [ "a" ] ] in
+        let s2 = Schema.of_relations [ Relation.make "q" [ "b" ] ] in
+        let u = Schema.union s1 s2 in
+        Alcotest.(check int) "size" 2 (Schema.size u);
+        Alcotest.(check bool) "mem r" true (Schema.mem u "r");
+        Alcotest.(check bool) "mem q" true (Schema.mem u "q"));
+  ]
+
+let tuple_tests =
+  [
+    Alcotest.test_case "ground / nulls" `Quick (fun () ->
+        let t = Tuple.make "r" [ Const "a"; Null 3 ] in
+        Alcotest.(check bool) "not ground" false (Tuple.is_ground t);
+        Alcotest.(check int) "one null" 1 (Value.Set.cardinal (Tuple.nulls t));
+        Alcotest.(check bool)
+          "ground" true
+          (Tuple.is_ground (Tuple.of_consts "r" [ "a"; "b" ])));
+    Alcotest.test_case "compare is lexicographic" `Quick (fun () ->
+        let a = Tuple.of_consts "r" [ "a"; "b" ] in
+        let b = Tuple.of_consts "r" [ "a"; "c" ] in
+        Alcotest.(check bool) "a<b" true (Tuple.compare a b < 0));
+    Alcotest.test_case "map_values" `Quick (fun () ->
+        let t = Tuple.make "r" [ Null 0; Const "x" ] in
+        let t' =
+          Tuple.map_values
+            (function Value.Null 0 -> Value.Const "filled" | v -> v)
+            t
+        in
+        Alcotest.check tup "filled" (Tuple.of_consts "r" [ "filled"; "x" ]) t');
+  ]
+
+let instance_tests =
+  [
+    Alcotest.test_case "add / mem / remove" `Quick (fun () ->
+        let t = Tuple.of_consts "r" [ "a" ] in
+        let i = Instance.add t Instance.empty in
+        Alcotest.(check bool) "mem" true (Instance.mem t i);
+        Alcotest.(check bool)
+          "removed" false
+          (Instance.mem t (Instance.remove t i)));
+    Alcotest.test_case "duplicates collapse" `Quick (fun () ->
+        let t = Tuple.of_consts "r" [ "a" ] in
+        let i = Instance.of_tuples [ t; t; t ] in
+        Alcotest.(check int) "card" 1 (Instance.cardinal i));
+    Alcotest.test_case "diff and inter" `Quick (fun () ->
+        let a = Tuple.of_consts "r" [ "a" ] in
+        let b = Tuple.of_consts "r" [ "b" ] in
+        let i1 = Instance.of_tuples [ a; b ] in
+        let i2 = Instance.of_tuples [ b ] in
+        Alcotest.(check int) "diff" 1 (Instance.cardinal (Instance.diff i1 i2));
+        Alcotest.(check bool)
+          "diff content" true
+          (Instance.mem a (Instance.diff i1 i2));
+        Alcotest.(check int) "inter" 1 (Instance.cardinal (Instance.inter i1 i2)));
+    Alcotest.test_case "constants and nulls" `Quick (fun () ->
+        let i =
+          Instance.of_tuples [ Tuple.make "r" [ Const "a"; Null 1; Null 2 ] ]
+        in
+        Alcotest.(check int) "consts" 1 (Value.Set.cardinal (Instance.constants i));
+        Alcotest.(check int) "nulls" 2 (Value.Set.cardinal (Instance.null_labels i));
+        Alcotest.(check bool) "not ground" false (Instance.is_ground i));
+  ]
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"union is an upper bound" ~count:100
+      Fixtures.instance_gen (fun i ->
+        let u = Instance.union i i in
+        Instance.equal u i);
+    Test.make ~name:"diff then union restores superset" ~count:100
+      (Gen.pair Fixtures.instance_gen Fixtures.instance_gen) (fun (a, b) ->
+        let d = Instance.diff a b in
+        Instance.subset d a && Instance.is_empty (Instance.inter d b));
+    Test.make ~name:"cardinal = length tuples" ~count:100 Fixtures.instance_gen
+      (fun i -> Instance.cardinal i = List.length (Instance.tuples i));
+    Test.make ~name:"subset reflexive, inter commutative" ~count:100
+      (Gen.pair Fixtures.instance_gen Fixtures.instance_gen) (fun (a, b) ->
+        Instance.subset a a
+        && Instance.equal (Instance.inter a b) (Instance.inter b a));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let frac_tests =
+  let open Util in
+  let frac = Alcotest.testable Frac.pp Frac.equal in
+  [
+    Alcotest.test_case "normalisation" `Quick (fun () ->
+        Alcotest.check frac "2/4 = 1/2" (Frac.make 1 2) (Frac.make 2 4);
+        Alcotest.check frac "-1/-2 = 1/2" (Frac.make 1 2) (Frac.make (-1) (-2));
+        Alcotest.(check int) "den > 0" 2 (Frac.den (Frac.make 1 (-2))));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.check frac "1/3+1/6" (Frac.make 1 2)
+          (Frac.add (Frac.make 1 3) (Frac.make 1 6));
+        Alcotest.check frac "1-2/3" (Frac.make 1 3)
+          (Frac.sub Frac.one (Frac.make 2 3));
+        Alcotest.check frac "2/3*3/4" (Frac.make 1 2)
+          (Frac.mul (Frac.make 2 3) (Frac.make 3 4)));
+    Alcotest.test_case "pp mixed number" `Quick (fun () ->
+        Alcotest.(check string) "7 1/3" "7 1/3" (Frac.to_string (Frac.make 22 3));
+        Alcotest.(check string) "2/3" "2/3" (Frac.to_string (Frac.make 2 3));
+        Alcotest.(check string) "4" "4" (Frac.to_string (Frac.of_int 4)));
+    Alcotest.test_case "sum and compare" `Quick (fun () ->
+        Alcotest.check frac "sum" (Frac.of_int 1)
+          (Frac.sum [ Frac.make 1 3; Frac.make 1 3; Frac.make 1 3 ]);
+        Alcotest.(check bool) "lt" true Frac.(make 1 3 < make 1 2));
+  ]
+
+let csv_tests =
+  let open Relational in
+  [
+    Alcotest.test_case "parse_line basic" `Quick (fun () ->
+        Alcotest.(check (result (list string) string))
+          "simple" (Ok [ "a"; "b"; "c" ]) (Csv.parse_line "a,b,c"));
+    Alcotest.test_case "parse_line quoting" `Quick (fun () ->
+        Alcotest.(check (result (list string) string))
+          "quoted comma" (Ok [ "a,b"; "c" ]) (Csv.parse_line "\"a,b\",c");
+        Alcotest.(check (result (list string) string))
+          "doubled quote" (Ok [ "say \"hi\"" ]) (Csv.parse_line "\"say \"\"hi\"\"\""));
+    Alcotest.test_case "parse_line errors" `Quick (fun () ->
+        Alcotest.(check bool)
+          "unterminated" true
+          (Result.is_error (Csv.parse_line "\"abc"));
+        Alcotest.(check bool)
+          "junk after quote" true
+          (Result.is_error (Csv.parse_line "\"a\"b,c")));
+    Alcotest.test_case "load_relation checks widths" `Quick (fun () ->
+        Alcotest.(check bool)
+          "ragged rejected" true
+          (Result.is_error (Csv.load_relation ~rel:"r" "a,b\nc\n"));
+        Alcotest.(check bool)
+          "arity enforced" true
+          (Result.is_error (Csv.load_relation ~rel:"r" ~arity:3 "a,b\n"));
+        match Csv.load_relation ~rel:"r" "a,b\nc,d\n\n" with
+        | Error e -> Alcotest.fail e
+        | Ok tuples -> Alcotest.(check int) "two tuples" 2 (List.length tuples));
+    Alcotest.test_case "load builds a multi-relation instance" `Quick
+      (fun () ->
+        match Csv.load [ ("r", "a,b"); ("q", "x") ] with
+        | Error e -> Alcotest.fail e
+        | Ok inst ->
+          Alcotest.(check int) "card" 2 (Instance.cardinal inst);
+          Alcotest.(check bool)
+            "r tuple" true
+            (Instance.mem (Tuple.of_consts "r" [ "a"; "b" ]) inst));
+    Alcotest.test_case "csv roundtrip" `Quick (fun () ->
+        let inst =
+          Instance.of_tuples
+            [
+              Tuple.of_consts "r" [ "plain"; "with,comma" ];
+              Tuple.of_consts "r" [ "with\"quote"; "x" ];
+            ]
+        in
+        let text = Csv.to_csv inst "r" in
+        match Csv.load_relation ~rel:"r" text with
+        | Error e -> Alcotest.fail e
+        | Ok tuples ->
+          Alcotest.(check bool)
+            "same instance" true
+            (Instance.equal inst (Instance.of_tuples tuples)));
+  ]
+
+let bitset_tests =
+  let open Util in
+  [
+    Alcotest.test_case "set / get / clear" `Quick (fun () ->
+        let b = Bitset.create 100 in
+        Bitset.set b 0;
+        Bitset.set b 63;
+        Bitset.set b 64;
+        Bitset.set b 99;
+        Alcotest.(check bool) "0" true (Bitset.get b 0);
+        Alcotest.(check bool) "63" true (Bitset.get b 63);
+        Alcotest.(check bool) "64" true (Bitset.get b 64);
+        Alcotest.(check bool) "50" false (Bitset.get b 50);
+        Alcotest.(check int) "count" 4 (Bitset.count b);
+        Bitset.clear b 63;
+        Alcotest.(check int) "count after clear" 3 (Bitset.count b));
+    Alcotest.test_case "bounds checked" `Quick (fun () ->
+        let b = Bitset.create 10 in
+        Alcotest.(check bool)
+          "negative" true
+          (match Bitset.get b (-1) with exception Invalid_argument _ -> true | _ -> false);
+        Alcotest.(check bool)
+          "too large" true
+          (match Bitset.set b 10 with exception Invalid_argument _ -> true | _ -> false));
+    Alcotest.test_case "union_into and union_count" `Quick (fun () ->
+        let a = Bitset.of_list 70 [ 1; 2; 69 ] in
+        let b = Bitset.of_list 70 [ 2; 3 ] in
+        Alcotest.(check int) "union count" 4 (Bitset.union_count a b);
+        Alcotest.(check int) "a untouched" 3 (Bitset.count a);
+        Bitset.union_into a b;
+        Alcotest.(check int) "after union" 4 (Bitset.count a);
+        Alcotest.(check (list int)) "bits" [ 1; 2; 3; 69 ] (Bitset.to_list a));
+    Alcotest.test_case "width mismatch rejected" `Quick (fun () ->
+        let a = Bitset.create 5 and b = Bitset.create 6 in
+        Alcotest.(check bool)
+          "raises" true
+          (match Bitset.union_into a b with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "copy is independent" `Quick (fun () ->
+        let a = Bitset.of_list 8 [ 1 ] in
+        let b = Bitset.copy a in
+        Bitset.set b 2;
+        Alcotest.(check int) "a" 1 (Bitset.count a);
+        Alcotest.(check int) "b" 2 (Bitset.count b);
+        Alcotest.(check bool) "equal after same ops" false (Bitset.equal a b));
+    Alcotest.test_case "roundtrip of_list/to_list" `Quick (fun () ->
+        let bits = [ 0; 5; 31; 32; 63; 64; 65 ] in
+        Alcotest.(check (list int)) "bits" bits (Bitset.to_list (Bitset.of_list 80 bits)));
+  ]
+
+let stats_tests =
+  let open Util in
+  [
+    Alcotest.test_case "mean / stddev" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+        Alcotest.(check (float 1e-9)) "empty mean" 0. (Stats.mean []);
+        Alcotest.(check (float 1e-9)) "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ]);
+        Alcotest.(check (float 1e-9)) "singleton stddev" 0. (Stats.stddev [ 5. ]));
+    Alcotest.test_case "median / percentile" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "median odd" 3. (Stats.median [ 5.; 1.; 3. ]);
+        Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile 100. [ 5.; 1.; 3. ]);
+        Alcotest.(check (float 1e-9)) "p1 -> min" 1. (Stats.percentile 1. [ 5.; 1.; 3. ]);
+        Alcotest.(check (float 1e-9)) "empty" 0. (Stats.median []));
+    Alcotest.test_case "harmonic (the F1 convention)" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "balanced" 0.5 (Stats.harmonic 0.5 0.5);
+        Alcotest.(check (float 1e-9)) "zero side" 0. (Stats.harmonic 0. 1.);
+        Alcotest.(check (float 1e-6)) "f1" (2. *. 0.8 *. 0.4 /. 1.2)
+          (Stats.harmonic 0.8 0.4));
+    Alcotest.test_case "timer measures" `Quick (fun () ->
+        let x, ms = Util.Timer.time_ms (fun () -> 41 + 1) in
+        Alcotest.(check int) "result" 42 x;
+        Alcotest.(check bool) "non-negative" true (ms >= 0.));
+  ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ("value", value_tests);
+      ("relation", relation_tests);
+      ("schema", schema_tests);
+      ("tuple", tuple_tests);
+      ("instance", instance_tests);
+      ("instance-properties", qcheck_tests);
+      ("frac", frac_tests);
+      ("csv", csv_tests);
+      ("bitset", bitset_tests);
+      ("stats", stats_tests);
+    ]

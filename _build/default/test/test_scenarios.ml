@@ -1,0 +1,121 @@
+open Relational
+open Scenarios
+
+let entry_tests (e : Zoo.entry) =
+  let doc = e.Zoo.doc in
+  [
+    Alcotest.test_case (e.Zoo.name ^ ": document is well-formed") `Quick
+      (fun () ->
+        List.iter
+          (fun tgd ->
+            Alcotest.(check bool)
+              "candidate well-formed" true
+              (Logic.Tgd.well_formed ~source:doc.Serialize.Document.source
+                 ~target:doc.Serialize.Document.target tgd
+              = Ok ()))
+          (doc.Serialize.Document.tgds @ e.Zoo.ground_truth);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool)
+              "correspondence valid" true
+              (Candgen.Correspondence.validate
+                 ~source:doc.Serialize.Document.source
+                 ~target:doc.Serialize.Document.target c
+              = Ok ()))
+          doc.Serialize.Document.correspondences);
+    Alcotest.test_case (e.Zoo.name ^ ": MG within the candidates") `Quick
+      (fun () ->
+        List.iter
+          (fun mg ->
+            Alcotest.(check bool)
+              "present" true
+              (List.exists
+                 (Logic.Tgd.equal_up_to_renaming mg)
+                 doc.Serialize.Document.tgds))
+          e.Zoo.ground_truth);
+    Alcotest.test_case (e.Zoo.name ^ ": serialization roundtrips") `Quick
+      (fun () ->
+        match Serialize.Parser.parse (Serialize.Document.to_string doc) with
+        | Error err -> Alcotest.failf "%a" Serialize.Parser.pp_error err
+        | Ok doc' ->
+          Alcotest.(check bool)
+            "I survives" true
+            (Instance.equal doc.Serialize.Document.instance_i
+               doc'.Serialize.Document.instance_i);
+          Alcotest.(check bool)
+            "J survives" true
+            (Instance.equal doc.Serialize.Document.instance_j
+               doc'.Serialize.Document.instance_j);
+          Alcotest.(check int)
+            "tgds survive"
+            (List.length doc.Serialize.Document.tgds)
+            (List.length doc'.Serialize.Document.tgds));
+    Alcotest.test_case (e.Zoo.name ^ ": CMD solves it") `Quick (fun () ->
+        let problem =
+          Core.Problem.make ~source:doc.Serialize.Document.instance_i
+            ~j:doc.Serialize.Document.instance_j doc.Serialize.Document.tgds
+        in
+        let r = Core.Cmd.solve problem in
+        Alcotest.(check bool)
+          "no worse than empty" true
+          Util.Frac.(r.Core.Cmd.objective <= Core.Objective.empty_value problem));
+  ]
+
+let recovery_tests =
+  (* on the clean data of the realistic entries, CMD recovers MG exactly *)
+  List.map
+    (fun name ->
+      Alcotest.test_case (name ^ ": CMD recovers the ground truth") `Quick
+        (fun () ->
+          let e = Option.get (Zoo.find name) in
+          let doc = e.Zoo.doc in
+          let problem =
+            Core.Problem.make ~source:doc.Serialize.Document.instance_i
+              ~j:doc.Serialize.Document.instance_j doc.Serialize.Document.tgds
+          in
+          let r = Core.Cmd.solve problem in
+          let scores =
+            Metrics.mapping_level ~candidates:doc.Serialize.Document.tgds
+              ~truth:e.Zoo.ground_truth r.Core.Cmd.selection
+          in
+          Alcotest.(check (float 1e-9)) "F1 = 1" 1.0 scores.Metrics.f1))
+    [ "bibliography"; "hr"; "flights" ]
+
+let zoo_tests =
+  [
+    Alcotest.test_case "four entries, stable names" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "names"
+          [ "appendix"; "bibliography"; "hr"; "flights" ]
+          (Zoo.names ()));
+    Alcotest.test_case "find is case-insensitive" `Quick (fun () ->
+        Alcotest.(check bool) "HR" true (Zoo.find "HR" <> None);
+        Alcotest.(check bool) "nope" true (Zoo.find "nope" = None));
+    Alcotest.test_case "ground_chase grounds consistently per trigger" `Quick
+      (fun () ->
+        let e = Option.get (Zoo.find "flights") in
+        let j =
+          Zoo.ground_chase e.Zoo.doc.Serialize.Document.instance_i
+            e.Zoo.ground_truth
+        in
+        Alcotest.(check bool) "ground" true (Instance.is_ground j);
+        (* every route tuple's rid also appears in an operates tuple: the
+           shared null was grounded to the same skolem *)
+        Instance.iter
+          (fun t ->
+            if String.equal t.Tuple.rel "route" then begin
+              let rid = t.Tuple.values.(0) in
+              Alcotest.(check bool)
+                "rid joined" true
+                (Tuple.Set.exists
+                   (fun o -> Value.equal o.Tuple.values.(0) rid)
+                   (Instance.tuples_of j "operates"))
+            end)
+          j);
+  ]
+
+let () =
+  Alcotest.run "scenarios"
+    (("zoo", zoo_tests)
+    :: ("recovery", recovery_tests)
+    :: List.map (fun e -> (e.Zoo.name, entry_tests e)) Zoo.all)
