@@ -37,7 +37,7 @@ let small_problem =
      in
      problem_of (Ibench.Generator.generate config))
 
-let big_model =
+let big_problem =
   lazy
     (let config =
        Experiments.Common.noise_config
@@ -45,7 +45,51 @@ let big_model =
          ~seed:4 ~pi_corresp:25 ~pi_errors:10 ~pi_unexplained:10 ()
      in
      let p = problem_of (Ibench.Generator.generate config) in
-     Core.Cmd.build_model (Core.Preprocess.run p).Core.Preprocess.problem)
+     (Core.Preprocess.run p).Core.Preprocess.problem)
+
+let big_model = lazy (Core.Cmd.build_model (Lazy.force big_problem))
+
+(* Single-flip kernels on the big problem: the naive one re-evaluates the
+   whole objective around a flip, the incremental one probes the same flip
+   through the shared evaluation state. Both cycle over the candidates so
+   the distribution of touched cover lists is identical. *)
+let flip_state =
+  lazy
+    (let p = Lazy.force big_problem in
+     let sel = Core.Greedy.solve p in
+     (p, sel, Core.Incremental.create p sel))
+
+let naive_flip_counter = ref 0
+
+let incr_flip_counter = ref 0
+
+(* A frozen copy of the pre-rewrite local search, kept as the end-to-end
+   naive baseline for the solver wall-time comparison. *)
+let naive_improve p start =
+  let open Util in
+  let sel = Array.copy start in
+  let current = ref (Core.Objective.value p sel) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_flip = ref None in
+    for c = 0 to Array.length sel - 1 do
+      sel.(c) <- not sel.(c);
+      let v = Core.Objective.value p sel in
+      sel.(c) <- not sel.(c);
+      if Frac.(v < !current) then
+        match !best_flip with
+        | Some (_, bv) when Frac.(bv <= v) -> ()
+        | Some _ | None -> best_flip := Some (c, v)
+    done;
+    match !best_flip with
+    | None -> ()
+    | Some (c, v) ->
+      sel.(c) <- not sel.(c);
+      current := v;
+      improved := true
+  done;
+  sel
 
 let me_scenario =
   lazy
@@ -159,6 +203,36 @@ let tests =
              let gold = Array.make (Core.Problem.num_candidates p) false in
              Core.Tune.score p ~gold
                { Core.Problem.w_unexplained = 2; w_errors = 1; w_size = 1 }));
+      (* incremental-evaluation kernels (naive vs delta engine) *)
+      Test.make ~name:"flip-naive-big"
+        (stage (fun () ->
+             let p, sel, _ = Lazy.force flip_state in
+             let m = Core.Problem.num_candidates p in
+             let c = !naive_flip_counter mod m in
+             incr naive_flip_counter;
+             sel.(c) <- not sel.(c);
+             let v = Core.Objective.value p sel in
+             sel.(c) <- not sel.(c);
+             v));
+      Test.make ~name:"flip-incremental-big"
+        (stage (fun () ->
+             let p, _, st = Lazy.force flip_state in
+             let m = Core.Problem.num_candidates p in
+             let c = !incr_flip_counter mod m in
+             incr incr_flip_counter;
+             Core.Incremental.flip_delta st c));
+      Test.make ~name:"solver-local-search-naive-big"
+        (stage (fun () ->
+             let p = Lazy.force big_problem in
+             naive_improve p (full_selection p)));
+      Test.make ~name:"solver-local-search-incr-big"
+        (stage (fun () ->
+             let p = Lazy.force big_problem in
+             Core.Local_search.improve p (full_selection p)));
+      Test.make ~name:"solver-greedy-big"
+        (stage (fun () -> Core.Greedy.solve (Lazy.force big_problem)));
+      Test.make ~name:"solver-anneal-big"
+        (stage (fun () -> Core.Anneal.solve (Lazy.force big_problem)));
       (* substrate kernels *)
       Test.make ~name:"substrate-chase"
         (stage (fun () ->

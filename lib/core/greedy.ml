@@ -11,16 +11,17 @@ let marginal_gain (p : Problem.t) ~best c =
     (Frac.mul (Frac.of_int p.Problem.weights.Problem.w_unexplained) coverage_gain)
     p.Problem.cand_cost.(c)
 
-let forward p =
-  let m = Problem.num_candidates p in
-  let sel = Array.make m false in
-  let best = Array.make (Problem.num_tuples p) Frac.zero in
+(* Forward pass on a shared incremental state: the marginal gain of adding a
+   candidate is the negated flip delta, so each sweep is one pass over the
+   unselected candidates' cover lists. *)
+let forward st =
+  let m = Problem.num_candidates (Incremental.problem st) in
   let continue_ = ref true in
   while !continue_ do
     let pick = ref None in
     for c = 0 to m - 1 do
-      if not sel.(c) then begin
-        let gain = marginal_gain p ~best c in
+      if not (Incremental.is_selected st c) then begin
+        let gain = Frac.neg (Incremental.flip_delta st c) in
         if Frac.(Frac.zero < gain) then
           match !pick with
           | Some (_, g) when Frac.(gain <= g) -> ()
@@ -29,31 +30,25 @@ let forward p =
     done;
     match !pick with
     | None -> continue_ := false
-    | Some (c, _) ->
-      sel.(c) <- true;
-      Array.iter
-        (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
-        p.Problem.covers.(c)
-  done;
-  sel
+    | Some (c, _) -> Incremental.flip st c
+  done
 
-let backward p sel =
+let backward st =
+  let m = Problem.num_candidates (Incremental.problem st) in
   let improved = ref true in
-  let current = ref (Objective.value p sel) in
   while !improved do
     improved := false;
-    for c = 0 to Array.length sel - 1 do
-      if sel.(c) then begin
-        sel.(c) <- false;
-        let v = Objective.value p sel in
-        if Frac.(v < !current) then begin
-          current := v;
+    for c = 0 to m - 1 do
+      if Incremental.is_selected st c then
+        if Frac.(Incremental.flip_delta st c < Frac.zero) then begin
+          Incremental.flip st c;
           improved := true
         end
-        else sel.(c) <- true
-      end
     done
-  done;
-  sel
+  done
 
-let solve p = backward p (forward p)
+let solve p =
+  let st = Incremental.create p (Array.make (Problem.num_candidates p) false) in
+  forward st;
+  backward st;
+  Incremental.selection st

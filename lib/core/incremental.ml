@@ -1,0 +1,139 @@
+open Util
+
+module Fmap = Map.Make (struct
+  type t = Frac.t
+
+  let compare = Frac.compare
+end)
+
+type t = {
+  problem : Problem.t;
+  sel : bool array;
+  degrees : int Fmap.t array;
+      (* per tuple: degree → how many selected candidates cover it at that
+         degree; [explains] is the maximum key *)
+  best : Frac.t array;  (* cached multiset maxima ([Frac.zero] when empty) *)
+  mutable covered : Frac.t;  (* Σ best *)
+  mutable errors : int;
+  mutable size : int;
+  mutable cand_cost : Frac.t;
+}
+
+let add_degree st ti d =
+  let m = st.degrees.(ti) in
+  let n = match Fmap.find_opt d m with Some n -> n | None -> 0 in
+  st.degrees.(ti) <- Fmap.add d (n + 1) m;
+  if Frac.(st.best.(ti) < d) then begin
+    st.covered <- Frac.add st.covered (Frac.sub d st.best.(ti));
+    st.best.(ti) <- d
+  end
+
+let remove_degree st ti d =
+  let m = st.degrees.(ti) in
+  let n = Fmap.find d m in
+  let m' = if n = 1 then Fmap.remove d m else Fmap.add d (n - 1) m in
+  st.degrees.(ti) <- m';
+  if n = 1 && Frac.equal d st.best.(ti) then begin
+    let next =
+      match Fmap.max_binding_opt m' with
+      | Some (d', _) -> d'
+      | None -> Frac.zero
+    in
+    st.covered <- Frac.sub st.covered (Frac.sub st.best.(ti) next);
+    st.best.(ti) <- next
+  end
+
+let select st c =
+  let p = st.problem in
+  st.sel.(c) <- true;
+  Array.iter (fun (ti, d) -> add_degree st ti d) p.Problem.covers.(c);
+  st.errors <- st.errors + Cover.error_count p.Problem.stats.(c);
+  st.size <- st.size + p.Problem.stats.(c).Cover.size;
+  st.cand_cost <- Frac.add st.cand_cost p.Problem.cand_cost.(c)
+
+let deselect st c =
+  let p = st.problem in
+  st.sel.(c) <- false;
+  Array.iter (fun (ti, d) -> remove_degree st ti d) p.Problem.covers.(c);
+  st.errors <- st.errors - Cover.error_count p.Problem.stats.(c);
+  st.size <- st.size - p.Problem.stats.(c).Cover.size;
+  st.cand_cost <- Frac.sub st.cand_cost p.Problem.cand_cost.(c)
+
+let flip st c = if st.sel.(c) then deselect st c else select st c
+
+let create (p : Problem.t) sel =
+  if Array.length sel <> Problem.num_candidates p then
+    invalid_arg "Incremental.create: selection length mismatch";
+  let st =
+    {
+      problem = p;
+      sel = Array.make (Problem.num_candidates p) false;
+      degrees = Array.make (Problem.num_tuples p) Fmap.empty;
+      best = Array.make (Problem.num_tuples p) Frac.zero;
+      covered = Frac.zero;
+      errors = 0;
+      size = 0;
+      cand_cost = Frac.zero;
+    }
+  in
+  Array.iteri (fun c selected -> if selected then select st c) sel;
+  st
+
+let flip_delta st c =
+  let p = st.problem in
+  let w1 = Frac.of_int p.Problem.weights.Problem.w_unexplained in
+  if st.sel.(c) then
+    (* Dropping [c]: each tuple it covers at the current maximum with
+       multiplicity one falls back to the next-largest degree. *)
+    let lost =
+      Array.fold_left
+        (fun acc (ti, d) ->
+          if Frac.(d < st.best.(ti)) then acc
+          else if Fmap.find d st.degrees.(ti) > 1 then acc
+          else
+            let next =
+              match
+                Fmap.find_last_opt
+                  (fun d' -> Frac.compare d' d < 0)
+                  st.degrees.(ti)
+              with
+              | Some (d', _) -> d'
+              | None -> Frac.zero
+            in
+            Frac.add acc (Frac.sub d next))
+        Frac.zero p.Problem.covers.(c)
+    in
+    Frac.sub (Frac.mul w1 lost) p.Problem.cand_cost.(c)
+  else
+    let gained =
+      Array.fold_left
+        (fun acc (ti, d) ->
+          if Frac.(st.best.(ti) < d) then
+            Frac.add acc (Frac.sub d st.best.(ti))
+          else acc)
+        Frac.zero p.Problem.covers.(c)
+    in
+    Frac.sub p.Problem.cand_cost.(c) (Frac.mul w1 gained)
+
+let unexplained st =
+  let p = st.problem in
+  Frac.mul
+    (Frac.of_int p.Problem.weights.Problem.w_unexplained)
+    (Frac.sub (Frac.of_int (Problem.num_tuples p)) st.covered)
+
+let value st = Frac.add (unexplained st) st.cand_cost
+
+let breakdown st =
+  let unexplained = unexplained st in
+  {
+    Objective.unexplained;
+    errors = st.errors;
+    size = st.size;
+    total = Frac.add unexplained st.cand_cost;
+  }
+
+let is_selected st c = st.sel.(c)
+
+let selection st = Array.copy st.sel
+
+let problem st = st.problem

@@ -1,29 +1,30 @@
 open Util
 
+(* The best-flip scan probes every candidate through [Incremental.flip_delta]
+   (O(|covers(c)| · log k) each) instead of re-evaluating the whole objective
+   per probe; only the chosen flip is committed. Tie-breaking — first
+   candidate with the strictly smallest post-flip value — matches the
+   original naive implementation, so the visited selections are identical. *)
 let improve p start =
-  let sel = Array.copy start in
-  let current = ref (Objective.value p sel) in
+  let st = Incremental.create p start in
   let improved = ref true in
   while !improved do
     improved := false;
     let best_flip = ref None in
-    for c = 0 to Array.length sel - 1 do
-      sel.(c) <- not sel.(c);
-      let v = Objective.value p sel in
-      sel.(c) <- not sel.(c);
-      if Frac.(v < !current) then
+    for c = 0 to Problem.num_candidates p - 1 do
+      let delta = Incremental.flip_delta st c in
+      if Frac.(delta < Frac.zero) then
         match !best_flip with
-        | Some (_, bv) when Frac.(bv <= v) -> ()
-        | Some _ | None -> best_flip := Some (c, v)
+        | Some (_, bd) when Frac.(bd <= delta) -> ()
+        | Some _ | None -> best_flip := Some (c, delta)
     done;
     match !best_flip with
     | None -> ()
-    | Some (c, v) ->
-      sel.(c) <- not sel.(c);
-      current := v;
+    | Some (c, _) ->
+      Incremental.flip st c;
       improved := true
   done;
-  sel
+  Incremental.selection st
 
 let solve ?(restarts = 0) ?(seed = 0) p =
   let m = Problem.num_candidates p in

@@ -93,6 +93,142 @@ let instance_gen =
     let* threes = list_size (int_range 0 8) (tuple_gen ~rel:"r3" ~arity:3) in
     return (Instance.of_tuples (twos @ threes)))
 
+(* A pool of six candidate tgds over the appendix vocabulary; random
+   selection problems are built by sampling instances and a subset of this
+   pool. Shared by the solver property tests and the incremental-evaluator
+   differential suite. *)
+let selection_candidate_pool =
+  [
+    theta1;
+    theta3;
+    Tgd.make ~label:"org_only"
+      ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+      ~head:[ Atom.make "org" [ v "T"; v "O" ] ]
+      ();
+    Tgd.make ~label:"swap"
+      ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+      ~head:[ Atom.make "task" [ v "E"; v "P"; v "T" ] ]
+      ();
+    Tgd.make ~label:"proj_pair"
+      ~body:
+        [
+          Atom.make "proj" [ v "P"; v "E"; v "O" ];
+          Atom.make "proj" [ v "P2"; v "E"; v "O2" ];
+        ]
+      ~head:[ Atom.make "task" [ v "P"; v "E"; v "T" ] ]
+      ();
+    Tgd.make ~label:"const_head"
+      ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+      ~head:[ Atom.make "org" [ v "T"; Term.Cst "SAP" ] ]
+      ();
+  ]
+
+(* Small random selection problems over the appendix vocabulary. The sizes
+   are intentionally tiny (≤ 5 source tuples, ≤ 9 target tuples) so that
+   brute force stays cheap and QCheck2's integrated shrinking walks them
+   down to minimal counterexamples. *)
+let selection_problem_gen =
+  let open QCheck2.Gen in
+  let mk rel vs = Tuple.of_consts rel vs in
+  let source_gen =
+    list_size (int_range 1 5)
+      (map
+         (fun (a, b, c) ->
+           mk "proj"
+             [ Printf.sprintf "p%d" a; Printf.sprintf "e%d" b; Printf.sprintf "o%d" c ])
+         (triple (int_range 0 2) (int_range 0 2) (int_range 0 2)))
+    |> map Instance.of_tuples
+  in
+  let target_gen =
+    let* tasks =
+      list_size (int_range 0 5)
+        (map
+           (fun (a, b, c) ->
+             mk "task"
+               [ Printf.sprintf "p%d" a; Printf.sprintf "e%d" b; Printf.sprintf "i%d" c ])
+           (triple (int_range 0 2) (int_range 0 2) (int_range 0 2)))
+    in
+    let* orgs =
+      list_size (int_range 0 4)
+        (map
+           (fun (a, b) ->
+             mk "org" [ Printf.sprintf "i%d" a; Printf.sprintf "o%d" b ])
+           (pair (int_range 0 2) (int_range 0 2)))
+    in
+    return (Instance.of_tuples (tasks @ orgs))
+  in
+  let* src = source_gen and* j = target_gen in
+  let* mask = list_size (return (List.length selection_candidate_pool)) bool in
+  let cands = List.filteri (fun i _ -> List.nth mask i) selection_candidate_pool in
+  let cands = if cands = [] then [ theta1 ] else cands in
+  return (Core.Problem.make ~source:src ~j cands)
+
+(* --- golden solver outputs (pre-incremental-rewrite) ------------------- *)
+
+(* Captured from the naive-evaluator solver implementations immediately
+   before Greedy/Local_search/Anneal were rewired onto Core.Incremental.
+   The differential regression suite regenerates the same iBench scenarios
+   (fixed seeds) and demands that today's solvers return these exact
+   selections and objective values. *)
+
+type golden_scenario = {
+  g_name : string;
+  g_seed : int;
+  g_pi_corresp : int;
+  g_pi_errors : int;
+  g_pi_unexplained : int;
+  g_greedy : int list;  (** [Greedy.solve] *)
+  g_local : int list;  (** [Local_search.solve ~restarts:2 ~seed:0] *)
+  g_anneal : int list;  (** [Anneal.solve] with default options *)
+  g_objective : Util.Frac.t;
+      (** objective value of all three pinned selections (the solvers agree
+          on these scenarios) *)
+}
+
+let golden_problem g =
+  Experiments.Common.problem_of_scenario
+    (Ibench.Generator.generate
+       (Experiments.Common.noise_config ~seed:g.g_seed
+          ~pi_corresp:g.g_pi_corresp ~pi_errors:g.g_pi_errors
+          ~pi_unexplained:g.g_pi_unexplained ()))
+
+let golden_scenarios =
+  [
+    {
+      g_name = "e1-clean";
+      g_seed = 1;
+      g_pi_corresp = 0;
+      g_pi_errors = 0;
+      g_pi_unexplained = 0;
+      g_greedy = [ 0; 2; 3; 4; 6; 9 ];
+      g_local = [ 0; 2; 3; 4; 6; 9 ];
+      g_anneal = [ 0; 2; 3; 4; 6; 9 ];
+      g_objective = Util.Frac.make 134 3;
+    };
+    {
+      g_name = "noisy-a";
+      g_seed = 2;
+      g_pi_corresp = 25;
+      g_pi_errors = 25;
+      g_pi_unexplained = 10;
+      g_greedy = [ 3; 4; 5; 12; 15 ];
+      g_local = [ 3; 4; 5; 12; 15 ];
+      g_anneal = [ 3; 4; 5; 12; 15 ];
+      g_objective = Util.Frac.make 139 2;
+    };
+    {
+      g_name = "noisy-b";
+      g_seed = 7;
+      g_pi_corresp = 50;
+      g_pi_errors = 25;
+      g_pi_unexplained = 25;
+      g_greedy = [ 2; 5; 8; 15; 16; 19 ];
+      g_local = [ 2; 5; 8; 15; 16; 19 ];
+      g_anneal = [ 2; 5; 8; 15; 16; 19 ];
+      g_objective = Util.Frac.make 292 3;
+    };
+  ]
+
 (* A random conjunctive query over r2/2 and r3/3 with variables from a small
    pool (shared variables make real joins likely). *)
 let cq_gen =

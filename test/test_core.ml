@@ -154,71 +154,10 @@ let preprocess_tests =
 (* --- random-problem properties ----------------------------------------- *)
 
 (* Small random problems built from the appendix vocabulary with a pool of
-   six candidate tgds; exact search must match brute-force enumeration and
-   lower-bound the heuristics. *)
-let candidate_pool =
-  let v = Fixtures.v in
-  let open Logic in
-  [
-    Fixtures.theta1;
-    Fixtures.theta3;
-    Tgd.make ~label:"org_only"
-      ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
-      ~head:[ Atom.make "org" [ v "T"; v "O" ] ]
-      ();
-    Tgd.make ~label:"swap"
-      ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
-      ~head:[ Atom.make "task" [ v "E"; v "P"; v "T" ] ]
-      ();
-    Tgd.make ~label:"proj_pair"
-      ~body:
-        [
-          Atom.make "proj" [ v "P"; v "E"; v "O" ];
-          Atom.make "proj" [ v "P2"; v "E"; v "O2" ];
-        ]
-      ~head:[ Atom.make "task" [ v "P"; v "E"; v "T" ] ]
-      ();
-    Tgd.make ~label:"const_head"
-      ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
-      ~head:[ Atom.make "org" [ v "T"; Term.Cst "SAP" ] ]
-      ();
-  ]
-
-let problem_gen =
-  let open QCheck2.Gen in
-  let mk rel vs = Relational.Tuple.of_consts rel vs in
-  let source_gen =
-    list_size (int_range 1 5)
-      (map
-         (fun (a, b, c) ->
-           mk "proj"
-             [ Printf.sprintf "p%d" a; Printf.sprintf "e%d" b; Printf.sprintf "o%d" c ])
-         (triple (int_range 0 2) (int_range 0 2) (int_range 0 2)))
-    |> map Instance.of_tuples
-  in
-  let target_gen =
-    let* tasks =
-      list_size (int_range 0 5)
-        (map
-           (fun (a, b, c) ->
-             mk "task"
-               [ Printf.sprintf "p%d" a; Printf.sprintf "e%d" b; Printf.sprintf "i%d" c ])
-           (triple (int_range 0 2) (int_range 0 2) (int_range 0 2)))
-    in
-    let* orgs =
-      list_size (int_range 0 4)
-        (map
-           (fun (a, b) ->
-             mk "org" [ Printf.sprintf "i%d" a; Printf.sprintf "o%d" b ])
-           (pair (int_range 0 2) (int_range 0 2)))
-    in
-    return (Instance.of_tuples (tasks @ orgs))
-  in
-  let* src = source_gen and* j = target_gen in
-  let* mask = list_size (return (List.length candidate_pool)) bool in
-  let cands = List.filteri (fun i _ -> List.nth mask i) candidate_pool in
-  let cands = if cands = [] then [ Fixtures.theta1 ] else cands in
-  return (Problem.make ~source:src ~j cands)
+   six candidate tgds (shared with the incremental differential suite);
+   exact search must match brute-force enumeration and lower-bound the
+   heuristics. *)
+let problem_gen = Fixtures.selection_problem_gen
 
 let brute_force p =
   let m = Problem.num_candidates p in

@@ -1,0 +1,312 @@
+(* Differential harness for the incremental objective engine.
+
+   Three layers of evidence that [Core.Incremental] is exact:
+   1. golden anchors — the appendix E1 worked example (objective values
+      4, 7 1/3, 8, 12) pinned through BOTH evaluators;
+   2. qcheck properties — on random problems and random flip sequences the
+      incremental state matches the naive [Objective] oracle after every
+      flip, with exact [Frac] equality, never floats;
+   3. differential regression — the rewired solvers reproduce, bit for bit,
+      the selections and objective values captured from the pre-rewrite
+      naive implementations on fixed iBench scenarios, and qcheck versions
+      of those naive implementations on random problems. *)
+
+open Util
+open Core
+
+let frac = Alcotest.testable Frac.pp Frac.equal
+
+let check_breakdown name (expected : Objective.breakdown)
+    (got : Objective.breakdown) =
+  Alcotest.check frac (name ^ ": unexplained") expected.Objective.unexplained
+    got.Objective.unexplained;
+  Alcotest.(check int) (name ^ ": errors") expected.Objective.errors
+    got.Objective.errors;
+  Alcotest.(check int) (name ^ ": size") expected.Objective.size
+    got.Objective.size;
+  Alcotest.check frac (name ^ ": total") expected.Objective.total
+    got.Objective.total
+
+let breakdown_equal (a : Objective.breakdown) (b : Objective.breakdown) =
+  Frac.equal a.Objective.unexplained b.Objective.unexplained
+  && a.Objective.errors = b.Objective.errors
+  && a.Objective.size = b.Objective.size
+  && Frac.equal a.Objective.total b.Objective.total
+
+(* --- golden anchor: the appendix's E1 table --------------------------- *)
+
+let appendix_problem () =
+  Problem.make ~source:Fixtures.instance_i ~j:Fixtures.instance_j
+    [ Fixtures.theta1; Fixtures.theta3 ]
+
+let appendix_tests =
+  [
+    Alcotest.test_case "E1 table through both evaluators" `Quick (fun () ->
+        let p = appendix_problem () in
+        List.iter
+          (fun (idx, expected) ->
+            let sel = Problem.selection_of_indices p idx in
+            let naive = Objective.breakdown p sel in
+            let incr = Incremental.breakdown (Incremental.create p sel) in
+            let name = Printf.sprintf "|M| = %d" (List.length idx) in
+            Alcotest.check frac (name ^ ": naive total") expected
+              naive.Objective.total;
+            Alcotest.check frac (name ^ ": incremental total") expected
+              incr.Objective.total;
+            check_breakdown name naive incr)
+          [
+            ([], Frac.of_int 4);
+            ([ 0 ], Frac.make 22 3);
+            ([ 1 ], Frac.of_int 8);
+            ([ 0; 1 ], Frac.of_int 12);
+          ]);
+    Alcotest.test_case "E1 reached by flips, not create" `Quick (fun () ->
+        (* drive one state through {} → {θ1} → {θ1,θ3} → {θ3} → {} and
+           compare against the pinned table at every step *)
+        let p = appendix_problem () in
+        let st = Incremental.create p [| false; false |] in
+        let expect name v =
+          Alcotest.check frac name v (Incremental.value st)
+        in
+        expect "{}" (Frac.of_int 4);
+        Incremental.flip st 0;
+        expect "{theta1}" (Frac.make 22 3);
+        Incremental.flip st 1;
+        expect "{theta1,theta3}" (Frac.of_int 12);
+        Incremental.flip st 0;
+        expect "{theta3}" (Frac.of_int 8);
+        Incremental.flip st 1;
+        expect "{} again" (Frac.of_int 4));
+  ]
+
+(* --- qcheck differential properties ----------------------------------- *)
+
+(* A problem plus a random starting mask and a flip sequence; indices are
+   taken modulo the candidate count, so shrinking the raw ints shrinks the
+   scenario without invalidating it. *)
+let scenario_gen =
+  QCheck2.Gen.(
+    triple Fixtures.selection_problem_gen (int_range 0 255)
+      (list_size (int_range 1 25) (int_range 0 1000)))
+
+let initial_selection p mask =
+  Array.init (Problem.num_candidates p) (fun i -> (mask lsr i) land 1 = 1)
+
+let property_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"value and breakdown match the oracle after every flip"
+      ~count:200 scenario_gen (fun (p, mask, flips) ->
+        let st = Incremental.create p (initial_selection p mask) in
+        let agrees () =
+          let sel = Incremental.selection st in
+          Frac.equal (Incremental.value st) (Objective.value p sel)
+          && breakdown_equal (Objective.breakdown p sel)
+               (Incremental.breakdown st)
+        in
+        agrees ()
+        && List.for_all
+             (fun f ->
+               Incremental.flip st (f mod Problem.num_candidates p);
+               agrees ())
+             flips);
+    Test.make ~name:"flip_delta is exact and does not mutate" ~count:200
+      scenario_gen (fun (p, mask, flips) ->
+        let m = Problem.num_candidates p in
+        let st = Incremental.create p (initial_selection p mask) in
+        List.for_all
+          (fun f ->
+            let before = Incremental.value st in
+            (* probe every candidate against the oracle … *)
+            List.for_all
+              (fun c ->
+                let sel = Incremental.selection st in
+                sel.(c) <- not sel.(c);
+                let oracle = Frac.sub (Objective.value p sel) before in
+                Frac.equal oracle (Incremental.flip_delta st c))
+              (List.init m Fun.id)
+            (* … then check the probes left no trace and commit one flip *)
+            && Frac.equal before (Incremental.value st)
+            &&
+            let c = f mod m in
+            let predicted = Incremental.flip_delta st c in
+            Incremental.flip st c;
+            Frac.equal (Incremental.value st) (Frac.add before predicted))
+          flips);
+    Test.make ~name:"flip is an exact involution" ~count:100 scenario_gen
+      (fun (p, mask, flips) ->
+        let st = Incremental.create p (initial_selection p mask) in
+        List.for_all
+          (fun f ->
+            let c = f mod Problem.num_candidates p in
+            let before = Incremental.breakdown st in
+            Incremental.flip st c;
+            Incremental.flip st c;
+            breakdown_equal before (Incremental.breakdown st))
+          flips);
+    Test.make ~name:"create agrees with the oracle on random masks" ~count:200
+      (Gen.pair Fixtures.selection_problem_gen (Gen.int_range 0 255))
+      (fun (p, mask) ->
+        let sel = initial_selection p mask in
+        let st = Incremental.create p sel in
+        Frac.equal (Incremental.value st) (Objective.value p sel)
+        && breakdown_equal (Objective.breakdown p sel)
+             (Incremental.breakdown st));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* --- differential: rewired solvers vs the naive originals -------------- *)
+
+(* Verbatim copies of the solver loops as they were before the rewiring,
+   evaluating with [Objective.value] from scratch on every probe. *)
+module Naive = struct
+  let greedy p =
+    let m = Problem.num_candidates p in
+    let sel = Array.make m false in
+    let best = Array.make (Problem.num_tuples p) Frac.zero in
+    let continue_ = ref true in
+    while !continue_ do
+      let pick = ref None in
+      for c = 0 to m - 1 do
+        if not sel.(c) then begin
+          let gain = Greedy.marginal_gain p ~best c in
+          if Frac.(Frac.zero < gain) then
+            match !pick with
+            | Some (_, g) when Frac.(gain <= g) -> ()
+            | Some _ | None -> pick := Some (c, gain)
+        end
+      done;
+      match !pick with
+      | None -> continue_ := false
+      | Some (c, _) ->
+        sel.(c) <- true;
+        Array.iter
+          (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
+          p.Problem.covers.(c)
+    done;
+    let improved = ref true in
+    let current = ref (Objective.value p sel) in
+    while !improved do
+      improved := false;
+      for c = 0 to m - 1 do
+        if sel.(c) then begin
+          sel.(c) <- false;
+          let v = Objective.value p sel in
+          if Frac.(v < !current) then begin
+            current := v;
+            improved := true
+          end
+          else sel.(c) <- true
+        end
+      done
+    done;
+    sel
+
+  let improve p start =
+    let sel = Array.copy start in
+    let current = ref (Objective.value p sel) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let best_flip = ref None in
+      for c = 0 to Array.length sel - 1 do
+        sel.(c) <- not sel.(c);
+        let v = Objective.value p sel in
+        sel.(c) <- not sel.(c);
+        if Frac.(v < !current) then
+          match !best_flip with
+          | Some (_, bv) when Frac.(bv <= v) -> ()
+          | Some _ | None -> best_flip := Some (c, v)
+      done;
+      match !best_flip with
+      | None -> ()
+      | Some (c, v) ->
+        sel.(c) <- not sel.(c);
+        current := v;
+        improved := true
+    done;
+    sel
+
+  let anneal ?(options = Anneal.default_options) (p : Problem.t) =
+    let m = Problem.num_candidates p in
+    if m = 0 then [||]
+    else begin
+      let rng = Random.State.make [| options.Anneal.seed |] in
+      let sel = Array.make m false in
+      let current = ref (Objective.value p sel) in
+      let best = Array.copy sel in
+      let best_v = ref !current in
+      let temperature = ref options.Anneal.initial_temperature in
+      for _ = 1 to options.Anneal.iterations do
+        let c = Random.State.int rng m in
+        sel.(c) <- not sel.(c);
+        let v = Objective.value p sel in
+        let delta = Frac.to_float (Frac.sub v !current) in
+        let accept =
+          delta <= 0.
+          || Random.State.float rng 1.
+             < exp (-.delta /. Float.max 1e-9 !temperature)
+        in
+        if accept then begin
+          current := v;
+          if Frac.(v < !best_v) then begin
+            best_v := v;
+            Array.blit sel 0 best 0 m
+          end
+        end
+        else sel.(c) <- not sel.(c);
+        temperature := !temperature *. options.Anneal.cooling
+      done;
+      best
+    end
+end
+
+let solver_property_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"rewired greedy = naive greedy (selection, not just value)"
+      ~count:100 Fixtures.selection_problem_gen (fun p ->
+        Greedy.solve p = Naive.greedy p);
+    Test.make ~name:"rewired local-search improve = naive improve" ~count:100
+      (Gen.pair Fixtures.selection_problem_gen (Gen.int_range 0 255))
+      (fun (p, mask) ->
+        let start = initial_selection p mask in
+        Local_search.improve p start = Naive.improve p start);
+    Test.make ~name:"rewired anneal = naive anneal (same rng consumption)"
+      ~count:60 Fixtures.selection_problem_gen (fun p ->
+        Anneal.solve p = Naive.anneal p);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* --- golden regression on fixed iBench scenarios ------------------------ *)
+
+let regression_tests =
+  List.map
+    (fun g ->
+      Alcotest.test_case g.Fixtures.g_name `Quick (fun () ->
+          let p = Fixtures.golden_problem g in
+          let check name expected sel =
+            Alcotest.(check (list int))
+              (name ^ " selection") expected
+              (Problem.indices_of_selection sel);
+            Alcotest.check frac (name ^ " objective") g.Fixtures.g_objective
+              (Objective.value p sel);
+            Alcotest.check frac
+              (name ^ " incremental objective")
+              g.Fixtures.g_objective
+              (Incremental.value (Incremental.create p sel))
+          in
+          check "greedy" g.Fixtures.g_greedy (Greedy.solve p);
+          check "local-search" g.Fixtures.g_local
+            (Local_search.solve ~restarts:2 ~seed:0 p);
+          check "anneal" g.Fixtures.g_anneal (Anneal.solve p)))
+    Fixtures.golden_scenarios
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ("appendix-anchor", appendix_tests);
+      ("differential-properties", property_tests);
+      ("solver-differential", solver_property_tests);
+      ("golden-regression", regression_tests);
+    ]
