@@ -109,6 +109,9 @@ let setcover_instance =
 
 let full_selection p = Array.make (Core.Problem.num_candidates p) true
 
+(* spawn-once 4-worker pool shared by the parallel solver kernels *)
+let pool4 = lazy (Parallel.Pool.create ~jobs:4 ())
+
 let full_problem_fixture =
   lazy
     (let config =
@@ -233,6 +236,22 @@ let tests =
         (stage (fun () -> Core.Greedy.solve (Lazy.force big_problem)));
       Test.make ~name:"solver-anneal-big"
         (stage (fun () -> Core.Anneal.solve (Lazy.force big_problem)));
+      (* parallel-execution kernels: the same multi-restart searches,
+         sequential vs fanned out over the reusable 4-worker pool *)
+      Test.make ~name:"solver-local-restarts8-seq-big"
+        (stage (fun () ->
+             Core.Local_search.solve ~restarts:8 (Lazy.force big_problem)));
+      Test.make ~name:"solver-local-restarts8-par4-big"
+        (stage (fun () ->
+             Core.Local_search.solve ~pool:(Lazy.force pool4) ~restarts:8
+               (Lazy.force big_problem)));
+      Test.make ~name:"solver-anneal-chains4-seq-big"
+        (stage (fun () ->
+             Core.Anneal.solve_multi ~chains:4 (Lazy.force big_problem)));
+      Test.make ~name:"solver-anneal-chains4-par4-big"
+        (stage (fun () ->
+             Core.Anneal.solve_multi ~pool:(Lazy.force pool4) ~chains:4
+               (Lazy.force big_problem)));
       (* substrate kernels *)
       Test.make ~name:"substrate-chase"
         (stage (fun () ->
@@ -282,6 +301,47 @@ let pp_time ppf ns =
   else if ns >= 1e3 then Format.fprintf ppf "%8.2f us" (ns /. 1e3)
   else Format.fprintf ppf "%8.2f ns" ns
 
+(* Direct wall-clock comparison of the sequential and pooled execution
+   paths on identical workloads — the speedup is measured, not asserted.
+   Results are bit-identical by the Parallel.Pool determinism contract
+   (checked here too); the achievable ratio is bounded by the machine's
+   core count, which is printed so the numbers are interpretable on
+   single-core runners. *)
+let parallel_speedup () =
+  Format.printf "@.=====================================================@.";
+  Format.printf " Parallel execution: sequential vs 4-domain pool@.";
+  Format.printf "=====================================================@.";
+  Format.printf "recommended_domain_count = %d (a >=2x speedup needs >=4 cores)@."
+    (Domain.recommended_domain_count ());
+  let measure name seq par check_equal =
+    ignore (seq ());
+    ignore (par ());
+    let s, seq_ms = Util.Timer.time_ms seq in
+    let p, par_ms = Util.Timer.time_ms par in
+    Format.printf "%-35s seq %8.1f ms   par(4) %8.1f ms   speedup %5.2fx   identical %b@."
+      name seq_ms par_ms (seq_ms /. par_ms) (check_equal s p)
+  in
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let p = Lazy.force big_problem in
+      measure "local-search-16-restarts"
+        (fun () -> Core.Local_search.solve ~restarts:16 p)
+        (fun () -> Core.Local_search.solve ~pool ~restarts:16 p)
+        ( = );
+      measure "anneal-8-chains"
+        (fun () -> Core.Anneal.solve_multi ~chains:8 p)
+        (fun () -> Core.Anneal.solve_multi ~pool ~chains:8 p)
+        ( = ));
+  let sweep jobs =
+    Experiments.Common.set_jobs jobs;
+    Experiments.Noise_sweep.run ~levels:[ 0; 25 ] ~seeds:[ 1; 2; 3; 4 ]
+      ~id:"bench" Experiments.Noise_sweep.Errors
+  in
+  measure "noise-sweep-2x4-scenarios"
+    (fun () -> sweep 1)
+    (fun () -> sweep 4)
+    (fun a b -> Experiments.Table.to_string a = Experiments.Table.to_string b);
+  Experiments.Common.set_jobs 1
+
 let () =
   Format.printf "=====================================================@.";
   Format.printf " Reproduction: every table and figure (E1..E14)@.";
@@ -305,4 +365,5 @@ let () =
   in
   List.iter
     (fun (name, est) -> Format.printf "%-35s %a / run@." name pp_time est)
-    rows
+    rows;
+  parallel_speedup ()

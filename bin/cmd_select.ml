@@ -30,7 +30,7 @@ let solver_conv =
   in
   Arg.conv (parse, print)
 
-let run_problem ~solver ~weights ~candidates ~source ~j ~truth =
+let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
   let problem = Core.Problem.make ~weights ~source ~j candidates in
   let selection, fractional =
     match solver with
@@ -38,21 +38,34 @@ let run_problem ~solver ~weights ~candidates ~source ~j ~truth =
       let r = Core.Cmd.solve problem in
       (r.Core.Cmd.selection, Some r.Core.Cmd.fractional)
     | Greedy -> (Core.Greedy.solve problem, None)
-    | Local -> (Core.Local_search.solve ~restarts:3 problem, None)
+    | Local ->
+      let sel =
+        if jobs > 1 then
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              Core.Local_search.solve ~pool ~restarts:3 problem)
+        else Core.Local_search.solve ~restarts:3 problem
+      in
+      (sel, None)
     | Exact -> (Core.Exact.solve problem, None)
     | All -> (Array.make (Core.Problem.num_candidates problem) true, None)
   in
   Format.printf "candidates (%d):@." (List.length candidates);
   List.iteri
     (fun i tgd ->
-      let frac =
-        match fractional with
-        | Some f -> Printf.sprintf " in=%.3f" f.(i)
-        | None -> ""
+      let context =
+        match (fractional, solver) with
+        | Some f, _ -> Printf.sprintf " in=%.3f" f.(i)
+        | None, All ->
+          (* 'all' does not optimise anything, so surface each candidate's
+             objective contribution instead of a solver diagnostic *)
+          let s = problem.Core.Problem.stats.(i) in
+          Printf.sprintf " errors=%d size=%d" (Cover.error_count s)
+            s.Cover.size
+        | None, _ -> ""
       in
       Format.printf "  [%s]%s %a@."
         (if selection.(i) then "x" else " ")
-        frac Logic.Tgd.pp tgd)
+        context Logic.Tgd.pp tgd)
     candidates;
   let b = Core.Objective.breakdown problem selection in
   Format.printf "objective: %a@." Core.Objective.pp_breakdown b;
@@ -63,8 +76,9 @@ let run_problem ~solver ~weights ~candidates ~source ~j ~truth =
     Format.printf "mapping-level vs ground truth: %a@." Metrics.pp
       (Metrics.mapping_level ~candidates ~truth selection)
 
-let run file scenario seed solver pi_corresp pi_errors pi_unexplained rows w1 w2 w3 =
+let run file scenario seed solver jobs pi_corresp pi_errors pi_unexplained rows w1 w2 w3 =
   let weights = { Core.Problem.w_unexplained = w1; w_errors = w2; w_size = w3 } in
+  let jobs = Option.value ~default:(Parallel.Pool.default_jobs ()) jobs in
   match scenario, file with
   | Some name, _ -> (
     match Scenarios.Zoo.find name with
@@ -76,7 +90,7 @@ let run file scenario seed solver pi_corresp pi_errors pi_unexplained rows w1 w2
       Format.printf "scenario %s: %s@." entry.Scenarios.Zoo.name
         entry.Scenarios.Zoo.description;
       let doc = entry.Scenarios.Zoo.doc in
-      run_problem ~solver ~weights ~candidates:doc.Serialize.Document.tgds
+      run_problem ~solver ~jobs ~weights ~candidates:doc.Serialize.Document.tgds
         ~source:doc.Serialize.Document.instance_i
         ~j:doc.Serialize.Document.instance_j
         ~truth:entry.Scenarios.Zoo.ground_truth)
@@ -98,7 +112,7 @@ let run file scenario seed solver pi_corresp pi_errors pi_unexplained rows w1 w2
             ~corrs:doc.Serialize.Document.correspondences
         | tgds -> tgds
       in
-      run_problem ~solver ~weights ~candidates
+      run_problem ~solver ~jobs ~weights ~candidates
         ~source:doc.Serialize.Document.instance_i
         ~j:doc.Serialize.Document.instance_j ~truth:[])
   | None, None ->
@@ -114,7 +128,7 @@ let run file scenario seed solver pi_corresp pi_errors pi_unexplained rows w1 w2
     in
     let s = Ibench.Generator.generate config in
     Format.printf "%a@." Ibench.Scenario.pp_summary s;
-    run_problem ~solver ~weights ~candidates:s.Ibench.Scenario.candidates
+    run_problem ~solver ~jobs ~weights ~candidates:s.Ibench.Scenario.candidates
       ~source:s.Ibench.Scenario.instance_i ~j:s.Ibench.Scenario.instance_j
       ~truth:s.Ibench.Scenario.ground_truth
 
@@ -132,6 +146,13 @@ let solver =
   Arg.(value & opt solver_conv Cmd & info [ "s"; "solver" ]
          ~doc:"Solver: cmd, greedy, local, exact or all.")
 
+let jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel solver phases (default: the \
+               $(b,PARALLEL_JOBS) environment variable, else the \
+               recommended domain count). Results are identical for every \
+               N; 1 disables parallelism.")
+
 let pi name doc = Arg.(value & opt int 0 & info [ name ] ~doc)
 
 let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Source rows per relation.")
@@ -143,7 +164,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cmd_select" ~doc)
     Term.(
-      const run $ file $ scenario $ seed $ solver
+      const run $ file $ scenario $ seed $ solver $ jobs
       $ pi "pi-corresp" "Percent of target relations with random correspondences."
       $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
       $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."

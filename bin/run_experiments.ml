@@ -14,7 +14,8 @@ let render format table =
   | Markdown -> Experiments.Table.to_markdown table
   | Csv -> Experiments.Table.to_csv table
 
-let run_ids format ids =
+let run_ids format jobs ids =
+  Option.iter Experiments.Common.set_jobs jobs;
   let to_run =
     match ids with
     | [] -> List.map (fun (id, _, run) -> (id, run)) Experiments.Registry.all
@@ -31,11 +32,32 @@ let run_ids format ids =
             exit 2)
         ids
   in
-  List.iter (fun (_, run) -> print_endline (render format (run ()))) to_run
+  (* a single experiment parallelises internally (per-seed scenario solves);
+     several independent experiments additionally fan out over the shared
+     pool, each rendered off-line and printed in request order *)
+  let rendered =
+    match to_run with
+    | [ (_, run) ] -> [ render format (run ()) ]
+    | _ when Experiments.Common.jobs () <= 1 ->
+      List.map (fun (_, run) -> render format (run ())) to_run
+    | _ ->
+      Parallel.Pool.parallel_map_list ~chunk:1
+        (Experiments.Common.pool ())
+        (fun (_, run) -> render format (run ()))
+        to_run
+  in
+  List.iter print_endline rendered
 
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID"
          ~doc:"Experiment ids (E1..E13); all when omitted.")
+
+let jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel execution (default: the \
+               $(b,PARALLEL_JOBS) environment variable, else the \
+               recommended domain count). Results are identical for every \
+               N; 1 disables parallelism.")
 
 let fmt_conv =
   Arg.conv
@@ -54,6 +76,7 @@ let format =
 
 let cmd =
   let doc = "Run the reproduction's experiment suite" in
-  Cmd.v (Cmd.info "run_experiments" ~doc) Term.(const run_ids $ format $ ids)
+  Cmd.v (Cmd.info "run_experiments" ~doc)
+    Term.(const run_ids $ format $ jobs $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -46,3 +46,31 @@ let solve ?(options = default_options) (p : Problem.t) =
     done;
     best
   end
+
+(* Independent chains with explicitly split seeds (chain 0 keeps the base
+   seed, so one chain degenerates to [solve]); best by exact objective, ties
+   to the lowest chain index. Chains never share rng state, so pool and
+   sequential runs agree bit for bit. *)
+let solve_multi ?pool ?(options = default_options) ?(chains = 1) p =
+  if chains < 1 then invalid_arg "Anneal.solve_multi: chains must be >= 1";
+  let run_chain i =
+    let options = { options with seed = Parallel.Seed.derive options.seed i } in
+    let sel = solve ~options p in
+    (sel, Objective.value p sel)
+  in
+  let results =
+    let indices = Array.init chains Fun.id in
+    match pool with
+    | Some pool -> Parallel.Pool.parallel_map ~chunk:1 pool run_chain indices
+    | None -> Array.map run_chain indices
+  in
+  let best = ref (fst results.(0)) in
+  let best_v = ref (snd results.(0)) in
+  for i = 1 to chains - 1 do
+    let sel, v = results.(i) in
+    if Frac.(v < !best_v) then begin
+      best := sel;
+      best_v := v
+    end
+  done;
+  !best

@@ -19,3 +19,17 @@ val default_options : options
 val solve : ?options : options -> Problem.t -> bool array
 (** The best selection visited (which is at least as good as the final
     state). *)
+
+val solve_multi :
+  ?pool : Parallel.Pool.t ->
+  ?options : options ->
+  ?chains : int ->
+  Problem.t ->
+  bool array
+(** [solve_multi ~chains] runs [chains] independent annealing chains (on
+    the pool's workers when given) and returns the best selection by exact
+    objective value, ties broken towards the lowest chain index. Chain [i]
+    is seeded with [Parallel.Seed.derive options.seed i] — chain 0 keeps
+    the base seed, so [solve_multi ~chains:1] equals [solve], and results
+    do not depend on the pool size. Default: 1 chain. Raises
+    [Invalid_argument] on [chains < 1]. *)

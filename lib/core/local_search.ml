@@ -26,15 +26,33 @@ let improve p start =
   done;
   Incremental.selection st
 
-let solve ?(restarts = 0) ?(seed = 0) p =
+(* Restart starts are drawn upfront from the single restart rng, in restart
+   order, exactly as the sequential loop always did; only the (rng-free)
+   [improve] descents fan out to the pool. Each descent is a pure function
+   of its start, results land at their restart's index, and the winner is
+   picked by exact-rational objective with ties broken towards the lowest
+   index — so pool runs are bit-identical to sequential ones. *)
+let solve ?pool ?(restarts = 0) ?(seed = 0) p =
   let m = Problem.num_candidates p in
-  let best = ref (improve p (Greedy.solve p)) in
-  let best_v = ref (Objective.value p !best) in
   let rng = Random.State.make [| seed |] in
-  for _ = 1 to restarts do
-    let start = Array.init m (fun _ -> Random.State.bool rng) in
-    let candidate = improve p start in
-    let v = Objective.value p candidate in
+  let starts = Array.make (restarts + 1) [||] in
+  starts.(0) <- Greedy.solve p;
+  for r = 1 to restarts do
+    starts.(r) <- Array.init m (fun _ -> Random.State.bool rng)
+  done;
+  let descend start =
+    let sel = improve p start in
+    (sel, Objective.value p sel)
+  in
+  let results =
+    match pool with
+    | Some pool -> Parallel.Pool.parallel_map ~chunk:1 pool descend starts
+    | None -> Array.map descend starts
+  in
+  let best = ref (fst results.(0)) in
+  let best_v = ref (snd results.(0)) in
+  for r = 1 to restarts do
+    let candidate, v = results.(r) in
     if Frac.(v < !best_v) then begin
       best := candidate;
       best_v := v

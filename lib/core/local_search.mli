@@ -8,5 +8,15 @@
 val improve : Problem.t -> bool array -> bool array
 (** Returns a (possibly) improved copy; the argument is not mutated. *)
 
-val solve : ?restarts : int -> ?seed : int -> Problem.t -> bool array
-(** Default: no restarts (greedy start only), seed 0. *)
+val solve :
+  ?pool : Parallel.Pool.t ->
+  ?restarts : int ->
+  ?seed : int ->
+  Problem.t ->
+  bool array
+(** Default: no restarts (greedy start only), seed 0. With [pool] the
+    greedy-start descent and the restarts run on the worker domains;
+    restart starts are still drawn sequentially from the single seeded rng
+    and the best local optimum is chosen by exact objective value with ties
+    broken towards the lowest restart index, so the result is bit-identical
+    to the sequential run. *)

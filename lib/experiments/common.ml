@@ -59,6 +59,60 @@ let noise_config ?(rows = 15) ?primitives ~seed ~pi_corresp ~pi_errors
     seed;
   }
 
+(* The suite-wide shared pool. Created lazily on first use so `--jobs` /
+   [set_jobs] can still override the PARALLEL_JOBS/default sizing; guarded
+   by a mutex because experiments themselves may run on pool workers. *)
+
+let pool_mutex = Mutex.create ()
+
+let jobs_override = ref None
+
+let shared_pool = ref None
+
+let jobs () =
+  Mutex.lock pool_mutex;
+  let j =
+    match !jobs_override with
+    | Some j -> j
+    | None -> Parallel.Pool.default_jobs ()
+  in
+  Mutex.unlock pool_mutex;
+  j
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Experiments.Common.set_jobs: jobs must be >= 1";
+  Mutex.lock pool_mutex;
+  jobs_override := Some j;
+  let old = !shared_pool in
+  shared_pool := None;
+  Mutex.unlock pool_mutex;
+  Option.iter Parallel.Pool.shutdown old
+
+let pool () =
+  Mutex.lock pool_mutex;
+  let p =
+    match !shared_pool with
+    | Some p -> p
+    | None ->
+      let j =
+        match !jobs_override with
+        | Some j -> j
+        | None -> Parallel.Pool.default_jobs ()
+      in
+      let p = Parallel.Pool.create ~jobs:j () in
+      shared_pool := Some p;
+      p
+  in
+  Mutex.unlock pool_mutex;
+  p
+
+let parallel_map f xs =
+  (* chunk 1: each task is a whole scenario generate + solve, far heavier
+     than the queue overhead. On a worker (the registry fanning experiments
+     out) or with one job, stay inline — and don't spawn the shared pool. *)
+  if Parallel.Pool.on_worker () || jobs () <= 1 then List.map f xs
+  else Parallel.Pool.parallel_map_list ~chunk:1 (pool ()) f xs
+
 let fmt_f v = Printf.sprintf "%.2f" v
 
 let fmt_ms v = Printf.sprintf "%.1f" v

@@ -37,6 +37,24 @@ val noise_config :
 (** The standard experiment configuration: all seven primitives once, 8 rows
     per relation, unless overridden. *)
 
+val jobs : unit -> int
+(** The suite's parallelism degree: {!set_jobs} override when set, else
+    [PARALLEL_JOBS], else [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** CLI override (`--jobs`). Shuts down a previously created shared pool so
+    the next {!pool} call resizes. Raises [Invalid_argument] on [j < 1]. *)
+
+val pool : unit -> Parallel.Pool.t
+(** The shared, lazily created worker pool of the experiment suite, sized
+    by {!jobs}. Thread-safe. *)
+
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f xs] fanned out over {!pool}, one task per element; results
+    keep list order and are bit-identical to the sequential map for pure
+    [f]. Runs inline when {!jobs}[ () <= 1] or when already on a pool
+    worker (nested fan-out), without spawning the shared pool. *)
+
 val fmt_f : float -> string
 (** Two decimals. *)
 

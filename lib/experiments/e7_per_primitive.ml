@@ -1,23 +1,36 @@
 let run ?(seeds = E2_parameters.seeds) () =
+  (* the (primitive, seed) grid fans out over the shared pool; regrouping
+     below preserves seed order so the averages match a sequential run *)
+  let grid =
+    List.concat_map
+      (fun kind -> List.map (fun seed -> (kind, seed)) seeds)
+      Ibench.Primitive.all
+  in
+  let solved =
+    Common.parallel_map
+      (fun (kind, seed) ->
+        (* 40 rows: enough data that even the low-coverage ADD/ADL
+           primitives (whose invented-value positions never count as
+           covered) are worth their size under Eq. 9 *)
+        let config =
+          Common.noise_config ~rows:40
+            ~primitives:[ (kind, 2) ]
+            ~seed ~pi_corresp:25 ~pi_errors:25 ~pi_unexplained:25 ()
+        in
+        let s = Ibench.Generator.generate config in
+        let p = Common.problem_of_scenario s in
+        ( kind,
+          ( Common.run_solver Common.Cmd_solver s p,
+            Common.run_solver Common.Greedy_solver s p ) ))
+      grid
+  in
   let rows =
     List.map
       (fun kind ->
         let per_seed =
-          List.map
-            (fun seed ->
-              (* 40 rows: enough data that even the low-coverage ADD/ADL
-                 primitives (whose invented-value positions never count as
-                 covered) are worth their size under Eq. 9 *)
-              let config =
-                Common.noise_config ~rows:40
-                  ~primitives:[ (kind, 2) ]
-                  ~seed ~pi_corresp:25 ~pi_errors:25 ~pi_unexplained:25 ()
-              in
-              let s = Ibench.Generator.generate config in
-              let p = Common.problem_of_scenario s in
-              ( Common.run_solver Common.Cmd_solver s p,
-                Common.run_solver Common.Greedy_solver s p ))
-            seeds
+          List.filter_map
+            (fun (k, outcomes) -> if k = kind then Some outcomes else None)
+            solved
         in
         let avg pick = Util.Stats.fmean pick per_seed in
         [

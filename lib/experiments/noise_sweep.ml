@@ -22,16 +22,30 @@ let config_of dimension ~seed ~level =
 let run ?(levels = E2_parameters.noise_levels) ?(seeds = E2_parameters.seeds)
     ?(solvers = Common.[ Cmd_solver; Greedy_solver; All_candidates ]) ~id
     dimension =
+  (* every (level, seed) scenario is generated and solved independently, so
+     the whole grid fans out over the shared pool; regrouping by level below
+     preserves seed order, keeping the averages identical to a sequential
+     sweep *)
+  let grid =
+    List.concat_map
+      (fun level -> List.map (fun seed -> (level, seed)) seeds)
+      levels
+  in
+  let solved =
+    Common.parallel_map
+      (fun (level, seed) ->
+        let s = Ibench.Generator.generate (config_of dimension ~seed ~level) in
+        let p = Common.problem_of_scenario s in
+        (level, List.map (fun solver -> Common.run_solver solver s p) solvers))
+      grid
+  in
   let rows =
     List.map
       (fun level ->
         let per_seed =
-          List.map
-            (fun seed ->
-              let s = Ibench.Generator.generate (config_of dimension ~seed ~level) in
-              let p = Common.problem_of_scenario s in
-              List.map (fun solver -> Common.run_solver solver s p) solvers)
-            seeds
+          List.filter_map
+            (fun (l, outcomes) -> if l = level then Some outcomes else None)
+            solved
         in
         let avg pick i =
           Util.Stats.fmean (fun outcomes -> pick (List.nth outcomes i)) per_seed

@@ -24,7 +24,18 @@ let find id =
       if String.equal (String.uppercase_ascii id) id' then Some run else None)
     all
 
-let run_all ppf =
-  List.iter
-    (fun (_, _, run) -> Format.fprintf ppf "%a@." Table.pp (run ()))
-    all
+(* Experiments are independent of one another, so with a pool each runs on
+   a worker and only the rendered tables are printed — in registry order,
+   whatever the completion order. An experiment's own per-seed fan-out
+   (Common.parallel_map) detects it is on a worker and runs inline. *)
+let run_all ?pool ppf =
+  match pool with
+  | None ->
+    List.iter
+      (fun (_, _, run) -> Format.fprintf ppf "%a@." Table.pp (run ()))
+      all
+  | Some pool ->
+    Parallel.Pool.parallel_map_list ~chunk:1 pool
+      (fun (_, _, run) -> Format.asprintf "%a" Table.pp (run ()))
+      all
+    |> List.iter (Format.fprintf ppf "%s@.")

@@ -6,5 +6,8 @@ val all : (string * string * (unit -> Table.t)) list
 val find : string -> (unit -> Table.t) option
 (** Case-insensitive lookup by id. *)
 
-val run_all : Format.formatter -> unit
-(** Runs every experiment and prints its table. *)
+val run_all : ?pool : Parallel.Pool.t -> Format.formatter -> unit
+(** Runs every experiment and prints its table, in registry order. With
+    [pool] the (mutually independent) experiments run concurrently on the
+    worker domains; tables are rendered off-formatter and printed in
+    registry order, so the output is identical to a sequential run. *)

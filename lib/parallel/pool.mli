@@ -1,0 +1,77 @@
+(** A reusable pool of worker domains with deterministic batch operations.
+
+    Workers are spawned once at {!create} and reused across every batch, so
+    fanning out many small batches (one per solver restart, per experiment
+    seed, per registry entry) costs no domain churn. Work is submitted as
+    contiguous index chunks through a [Mutex]/[Condition]-protected queue —
+    no dependencies beyond the OCaml 5 stdlib.
+
+    {2 Determinism contract}
+
+    Parallel results are bit-identical to sequential ones, for any pool size
+    and chunking:
+
+    - tasks must be pure functions of their input (give each task an
+      explicit seed via {!Seed.derive} instead of sharing a [Random.State]);
+    - every result is stored at its input's index, so completion order is
+      irrelevant;
+    - {!parallel_map_reduce} runs [combine] in the calling domain, strictly
+      in index order — never as a scheduling-dependent tree — so even
+      non-associative combines are deterministic;
+    - when several tasks raise, the exception that propagates is the one the
+      sequential run would have hit first (lowest index), making failure
+      behaviour reproducible too.
+
+    A pool of [jobs <= 1] spawns no domains and runs every batch inline in
+    the caller — that sequential path is the test oracle the qcheck suite
+    compares against. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [PARALLEL_JOBS] environment variable when set (must be a positive
+    integer), otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs : int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains ([default_jobs ()] when
+    omitted; no domains at all for [jobs <= 1]). Raises [Invalid_argument]
+    on [jobs < 1]. *)
+
+val jobs : t -> int
+
+val on_worker : unit -> bool
+(** Whether the calling domain is a pool worker. Batch operations invoked
+    from inside a worker run inline (sequentially) instead of re-entering
+    the queue, so nested parallelism degrades gracefully rather than
+    deadlocking. *)
+
+val parallel_map : ?chunk : int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f xs] is [Array.map f xs], with elements evaluated on
+    the workers. [chunk] elements are grouped per queued task (default: a
+    quarter of an even share per worker, at least 1) — chunking affects only
+    scheduling granularity, never results. If any [f] raises, outstanding
+    chunks are cancelled and the lowest-index exception is re-raised in the
+    caller with its backtrace. *)
+
+val parallel_map_list : ?chunk : int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** List counterpart of {!parallel_map}. *)
+
+val parallel_map_reduce :
+  ?chunk : int ->
+  t ->
+  map : ('a -> 'b) ->
+  combine : ('acc -> 'b -> 'acc) ->
+  init : 'acc ->
+  'a array ->
+  'acc
+(** [parallel_map_reduce pool ~map ~combine ~init xs] maps on the workers,
+    then folds [combine] over the results in the calling domain in index
+    order — exactly [Array.fold_left combine init (Array.map map xs)]. *)
+
+val shutdown : t -> unit
+(** Signals the workers to exit and joins them. Idempotent; subsequent batch
+    submissions raise [Invalid_argument]. *)
+
+val with_pool : ?jobs : int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    also on exception. *)

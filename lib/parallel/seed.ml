@@ -1,0 +1,17 @@
+(* SplitMix64's finalizer (Steele et al., "Fast splittable pseudorandom
+   number generators"): two xor-shift-multiply rounds give full avalanche,
+   so consecutive task indices yield statistically independent seeds. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let derive base i =
+  if i < 0 then invalid_arg "Parallel.Seed.derive: negative task index"
+  else if i = 0 then base
+  else
+    let z =
+      Int64.add (Int64.mul (Int64.of_int base) 0x9e3779b97f4a7c15L) (Int64.of_int i)
+    in
+    Int64.to_int (mix64 z) land max_int

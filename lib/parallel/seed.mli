@@ -1,0 +1,17 @@
+(** Deterministic RNG seed splitting for parallel fan-out.
+
+    A parallel batch must not share one [Random.State] between tasks — the
+    interleaving of draws would depend on scheduling. Instead every task
+    receives its own seed, derived from the batch seed and the task index by
+    a fixed bijective mixing function, so the set of per-task streams is a
+    pure function of [(base, index)] and parallel runs reproduce sequential
+    ones bit for bit. *)
+
+val derive : int -> int -> int
+(** [derive base i] is the seed for task [i] of a batch seeded with [base].
+
+    [derive base 0 = base] — the first task keeps the caller's seed, so a
+    one-task batch behaves exactly like the pre-existing sequential code
+    path. For [i > 0] the seed is a SplitMix64-style hash of [(base, i)]
+    (golden-ratio increment, two xor-shift-multiply rounds), truncated to a
+    non-negative OCaml [int]. Raises [Invalid_argument] on negative [i]. *)

@@ -1,7 +1,14 @@
+(* Monotonic elapsed time via bechamel's CLOCK_MONOTONIC stub (int64
+   nanoseconds since an arbitrary origin): immune to NTP slew and
+   settimeofday jumps, unlike the wall clock this module used to read. *)
+
+let now_ns = Monotonic_clock.now
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now_ns () in
   let x = f () in
-  (x, Unix.gettimeofday () -. start)
+  let stop = now_ns () in
+  (x, Int64.to_float (Int64.sub stop start) /. 1e9)
 
 let time_ms f =
   let x, s = time f in

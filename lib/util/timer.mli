@@ -1,8 +1,12 @@
-(** Wall-clock timing helper for the experiment harness. *)
+(** Monotonic timing helper for the experiment harness.
+
+    Readings come from the system monotonic clock ([CLOCK_MONOTONIC], via
+    bechamel's stub), so measured durations are unaffected by NTP slew or
+    wall-clock adjustments mid-measurement. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
-    wall-clock time in seconds. *)
+    monotonic time in seconds. *)
 
 val time_ms : (unit -> 'a) -> 'a * float
 (** Like {!time}, in milliseconds. *)
