@@ -49,6 +49,11 @@ let run primitives seed rows pi_corresp pi_errors pi_unexplained output =
       pi_unexplained;
     }
   in
+  (match Ibench.Config.validate config with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "scenario_gen: invalid configuration: %s\n" msg;
+    exit 2);
   let s = Ibench.Generator.generate config in
   let doc =
     {

@@ -52,6 +52,15 @@ val universal_solution :
   Relational.Instance.t
 (** Just the instance part of {!run}. *)
 
+val check_result :
+  source : Relational.Instance.t -> result -> (unit, string) Stdlib.result
+(** Verifies the internal invariants of a chase result: the solution is the
+    union of the trigger tuples, invented nulls are pairwise disjoint across
+    triggers and every null in a trigger tuple was invented by some trigger,
+    each trigger's substitution is a body homomorphism into [source], and
+    the trigger tuples are exactly the instantiated head atoms. A diagnostic
+    hook for the fuzzing harness. *)
+
 val satisfies :
   source : Relational.Instance.t ->
   target : Relational.Instance.t ->

@@ -56,6 +56,50 @@ let run ?nulls ?index src tgds =
 
 let universal_solution ?nulls ?index src tgds = (run ?nulls ?index src tgds).solution
 
+let check_result ~source { solution; triggers } =
+  let union =
+    List.fold_left
+      (fun inst (tr : Trigger.t) -> Instance.add_all tr.Trigger.tuples inst)
+      Instance.empty triggers
+  in
+  if not (Instance.equal union solution) then
+    Error "solution is not the union of the trigger tuples"
+  else
+    let rec check_triggers seen = function
+      | [] -> Ok ()
+      | (tr : Trigger.t) :: rest ->
+        if not (Value.Set.is_empty (Value.Set.inter seen tr.Trigger.nulls))
+        then Error "two triggers share an invented null"
+        else if
+          List.exists
+            (fun t ->
+              not
+                (Value.Set.subset (Tuple.nulls t)
+                   (Value.Set.union seen tr.Trigger.nulls)))
+            tr.Trigger.tuples
+        then Error "a trigger tuple carries a null no trigger invented"
+        else
+          let body_hom =
+            List.for_all
+              (fun atom ->
+                match Subst.apply_atom tr.Trigger.subst atom with
+                | Some t -> Instance.mem t source
+                | None -> false)
+              tr.Trigger.tgd.Tgd.body
+          in
+          if not body_hom then
+            Error "a trigger substitution is not a body homomorphism"
+          else if
+            not
+              (List.equal Tuple.equal tr.Trigger.tuples
+                 (List.map
+                    (Subst.apply_atom_exn tr.Trigger.subst)
+                    tr.Trigger.tgd.Tgd.head))
+          then Error "trigger tuples disagree with the instantiated head"
+          else check_triggers (Value.Set.union seen tr.Trigger.nulls) rest
+    in
+    check_triggers Value.Set.empty triggers
+
 let satisfies ~source ~target (tgd : Tgd.t) =
   let frontier = Tgd.frontier_vars tgd in
   Cq.answers source tgd.Tgd.body

@@ -132,6 +132,52 @@ let breakdown st =
     total = Frac.add unexplained st.cand_cost;
   }
 
+let self_check st =
+  let p = st.problem in
+  let naive = Objective.breakdown p st.sel in
+  let mine = breakdown st in
+  let best = Objective.best_coverage p st.sel in
+  if not (Frac.equal naive.Objective.total mine.Objective.total) then
+    Error
+      (Format.asprintf "total drifted: naive %a, incremental %a" Frac.pp
+         naive.Objective.total Frac.pp mine.Objective.total)
+  else if not (Frac.equal naive.Objective.unexplained mine.Objective.unexplained)
+  then Error "unexplained accumulator drifted"
+  else if naive.Objective.errors <> mine.Objective.errors then
+    Error "error accumulator drifted"
+  else if naive.Objective.size <> mine.Objective.size then
+    Error "size accumulator drifted"
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun ti b ->
+        if !bad = None then begin
+          if not (Frac.equal b st.best.(ti)) then
+            bad := Some (Printf.sprintf "cached maximum of tuple %d drifted" ti);
+          let count =
+            Fmap.fold (fun _ n acc -> n + acc) st.degrees.(ti) 0
+          in
+          let expected =
+            Array.to_seq p.Problem.covers |> Seq.mapi (fun c covers -> (c, covers))
+            |> Seq.fold_left
+                 (fun acc (c, covers) ->
+                   if st.sel.(c) then
+                     acc
+                     + Array.fold_left
+                         (fun acc (ti', _) -> if ti' = ti then acc + 1 else acc)
+                         0 covers
+                   else acc)
+                 0
+          in
+          if count <> expected && !bad = None then
+            bad :=
+              Some
+                (Printf.sprintf "degree multiset of tuple %d has %d entries, expected %d"
+                   ti count expected)
+        end)
+      best;
+    match !bad with None -> Ok () | Some msg -> Error msg
+
 let is_selected st c = st.sel.(c)
 
 let selection st = Array.copy st.sel

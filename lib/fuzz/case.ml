@@ -1,0 +1,68 @@
+open Relational
+open Logic
+
+type mapping = {
+  source : Instance.t;
+  j : Instance.t;
+  candidates : Tgd.t list;
+  weights : Core.Problem.weights;
+}
+
+type payload =
+  | Mapping of mapping
+  | Setcover of Core.Setcover.instance
+
+type t = {
+  seed : int;
+  tag : string;
+  payload : payload;
+}
+
+let problem m =
+  Core.Problem.make ~weights:m.weights ~source:m.source ~j:m.j m.candidates
+
+let num_candidates t =
+  match t.payload with
+  | Mapping m -> List.length m.candidates
+  | Setcover s -> List.length s.Core.Setcover.sets
+
+let num_tuples t =
+  match t.payload with
+  | Mapping m -> Instance.cardinal m.source + Instance.cardinal m.j
+  | Setcover s -> List.length s.Core.Setcover.universe
+
+let weights_equal (a : Core.Problem.weights) (b : Core.Problem.weights) =
+  a.Core.Problem.w_unexplained = b.Core.Problem.w_unexplained
+  && a.Core.Problem.w_errors = b.Core.Problem.w_errors
+  && a.Core.Problem.w_size = b.Core.Problem.w_size
+
+let equal a b =
+  a.seed = b.seed && a.tag = b.tag
+  &&
+  match a.payload, b.payload with
+  | Mapping ma, Mapping mb ->
+    Instance.equal ma.source mb.source
+    && Instance.equal ma.j mb.j
+    && List.length ma.candidates = List.length mb.candidates
+    && List.for_all2
+         (fun (x : Tgd.t) (y : Tgd.t) ->
+           x.Tgd.label = y.Tgd.label && Tgd.equal x y)
+         ma.candidates mb.candidates
+    && weights_equal ma.weights mb.weights
+  | Setcover sa, Setcover sb -> sa = sb
+  | Mapping _, Setcover _ | Setcover _, Mapping _ -> false
+
+let pp ppf t =
+  match t.payload with
+  | Mapping m ->
+    Format.fprintf ppf
+      "@[<h>%s (seed %d): %d candidates, %d source + %d target tuples@]" t.tag
+      t.seed (List.length m.candidates)
+      (Instance.cardinal m.source)
+      (Instance.cardinal m.j)
+  | Setcover s ->
+    Format.fprintf ppf
+      "@[<h>%s (seed %d): %d sets over %d elements, budget %d@]" t.tag t.seed
+      (List.length s.Core.Setcover.sets)
+      (List.length s.Core.Setcover.universe)
+      s.Core.Setcover.budget

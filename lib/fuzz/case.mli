@@ -1,0 +1,42 @@
+(** A fuzzing scenario: the unit of generation, oracle checking, shrinking
+    and corpus persistence.
+
+    Most cases are {!Mapping} cases — a data example plus a candidate set,
+    exactly the input of the selection pipeline. {!Setcover} cases carry a
+    SET COVER instance instead, exercising the Theorem 1 reduction and its
+    closed-form objective. Every case records the seed it was generated from
+    (shrunk descendants keep their ancestor's seed) and a tag naming the
+    generator family, so a corpus entry documents its own provenance. *)
+
+type mapping = {
+  source : Relational.Instance.t;
+  j : Relational.Instance.t;
+  candidates : Logic.Tgd.t list;
+  weights : Core.Problem.weights;
+}
+
+type payload =
+  | Mapping of mapping
+  | Setcover of Core.Setcover.instance
+
+type t = {
+  seed : int;  (** the generator seed this case (or its ancestor) came from *)
+  tag : string;  (** generator family, e.g. ["random-mapping"], ["empty-j"] *)
+  payload : payload;
+}
+
+val problem : mapping -> Core.Problem.t
+(** [Problem.make] under the case's weights — the shared precomputation the
+    mapping oracles evaluate against. *)
+
+val num_candidates : t -> int
+(** Candidate tgds of a mapping case; sets of a SET COVER case. *)
+
+val num_tuples : t -> int
+(** Source plus target tuples of a mapping case; universe size of a
+    SET COVER case. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** A one-line summary (tag, seed, sizes). *)

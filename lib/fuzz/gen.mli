@@ -1,0 +1,24 @@
+(** Seeded random-scenario generation.
+
+    [case ~seed] is a pure function of [seed]: the same seed always yields
+    the same case, so any counterexample is reproducible from its seed alone
+    (and parallel fuzzing runs, which derive per-case seeds with
+    {!Parallel.Seed.derive}, are bit-identical to sequential ones).
+
+    The generator generalises the paper's Section VI-A procedure to
+    property-test scale. Most seeds produce a small random mapping scenario:
+    a random source/target vocabulary, random candidate tgds (a Clio-shaped
+    mix of frontier, existential and constant head positions), a random
+    source instance, and a target instance built the iBench way — the
+    grounded chase of a random ground-truth subset with [piErrors]-style
+    deletions and [piUnexplained]-style noise tuples. The remaining seeds
+    are split between full-tgd scenarios (the Eq. 4 regime), SET COVER
+    instances (the Theorem 1 reduction), genuine {!Ibench.Generator}
+    scenarios with random primitive mixes and noise sweeps, and adversarial
+    corner cases: empty target, all-noise target, duplicate candidates,
+    empty source, and a one-constant domain. *)
+
+val case : seed : int -> Case.t
+
+val tags : string list
+(** All generator family tags, for reporting. *)

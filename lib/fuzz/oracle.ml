@@ -1,0 +1,452 @@
+open Relational
+open Logic
+open Util
+open Core
+
+type ctx = {
+  case : Case.t;
+  problem : Problem.t option Lazy.t;
+}
+
+let make_ctx case =
+  {
+    case;
+    problem =
+      lazy
+        (match case.Case.payload with
+        | Case.Mapping m -> Some (Case.problem m)
+        | Case.Setcover _ -> None);
+  }
+
+type verdict =
+  | Pass
+  | Skip
+  | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  check : ctx -> verdict;
+}
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+(* Auxiliary randomness, a pure function of (case seed, oracle salt). *)
+let rng_of ctx salt = Random.State.make [| 0x0f4c; ctx.case.Case.seed; salt |]
+
+(* Selections to probe: exhaustive up to 6 candidates, 40 random masks
+   beyond. Always includes the empty and the full selection. *)
+let probe_selections rng m =
+  if m <= 6 then
+    List.init (1 lsl m) (fun mask ->
+        Array.init m (fun i -> (mask lsr i) land 1 = 1))
+  else
+    Array.make m false :: Array.make m true
+    :: List.init 38 (fun _ -> Array.init m (fun _ -> Random.State.bool rng))
+
+let breakdown_equal (a : Objective.breakdown) (b : Objective.breakdown) =
+  Frac.equal a.Objective.unexplained b.Objective.unexplained
+  && a.Objective.errors = b.Objective.errors
+  && a.Objective.size = b.Objective.size
+  && Frac.equal a.Objective.total b.Objective.total
+
+let selection_to_string sel =
+  String.concat ""
+    (Array.to_list (Array.map (fun b -> if b then "1" else "0") sel))
+
+(* --- eq4-eq9: the Full fast path vs the general evaluator -------------- *)
+
+let check_eq4_eq9 ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping m when not (List.for_all Tgd.is_full m.Case.candidates) ->
+    Skip
+  | Case.Mapping _ -> (
+    let p = Option.get (Lazy.force ctx.problem) in
+    match Full.of_problem p with
+    | Error e -> failf "Full.of_problem rejected a full-tgd problem: %s" e
+    | Ok fp ->
+      let rng = rng_of ctx 1 in
+      let n = Problem.num_candidates p in
+      let mismatch =
+        List.find_map
+          (fun sel ->
+            let v4 = Full.value fp sel in
+            let v9 = Objective.value p sel in
+            if Frac.equal v4 v9 then None
+            else
+              Some
+                (Format.asprintf "Eq.4 gives %a, Eq.9 gives %a on %s" Frac.pp
+                   v4 Frac.pp v9 (selection_to_string sel)))
+          (probe_selections rng n)
+      in
+      (match mismatch with
+      | Some msg -> Fail msg
+      | None ->
+        if n <= 8 then
+          let v_full = Objective.value p (Full.exact fp) in
+          let v_gen = Objective.value p (Exact.solve p) in
+          if Frac.equal v_full v_gen then Pass
+          else
+            Fail
+              (Format.asprintf "Full.exact finds %a but Exact.solve finds %a"
+                 Frac.pp v_full Frac.pp v_gen)
+        else Pass))
+
+(* --- incremental: delta engine vs the naive evaluator ------------------ *)
+
+(* [expected_tweak] is a hook for fault injection: the real oracle adds
+   nothing; the broken variant perturbs the expected delta of candidates
+   covering at least two tuples, simulating a delta-computation bug. *)
+let incremental_check ~expected_tweak ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping _ ->
+    let p = Option.get (Lazy.force ctx.problem) in
+    let m = Problem.num_candidates p in
+    let rng = rng_of ctx 2 in
+    let sel = Array.init m (fun _ -> Random.State.bool rng) in
+    let st = Incremental.create p sel in
+    let steps = (2 * m) + 6 in
+    let rec drive step =
+      if step >= steps then
+        match Incremental.self_check st with
+        | Ok () -> Pass
+        | Error msg -> failf "self_check after %d flips: %s" steps msg
+      else
+        let cur = Incremental.selection st in
+        let value_now = Objective.value p cur in
+        (* probe every candidate's delta against the naive evaluator *)
+        let bad_probe =
+          List.find_map
+            (fun c ->
+              cur.(c) <- not cur.(c);
+              let naive = Frac.sub (Objective.value p cur) value_now in
+              cur.(c) <- not cur.(c);
+              let expected = Frac.add naive (expected_tweak p c) in
+              let got = Incremental.flip_delta st c in
+              if Frac.equal expected got then None
+              else
+                Some
+                  (Format.asprintf
+                     "flip_delta of candidate %d at step %d: expected %a, \
+                      got %a"
+                     c step Frac.pp expected Frac.pp got))
+            (List.init m Fun.id)
+        in
+        match bad_probe with
+        | Some msg -> Fail msg
+        | None ->
+          if m = 0 then
+            if Frac.equal (Incremental.value st) value_now then Pass
+            else Fail "value drifted on the empty candidate set"
+          else begin
+            let c = Random.State.int rng m in
+            Incremental.flip st c;
+            let now = Incremental.selection st in
+            if
+              not
+                (breakdown_equal
+                   (Objective.breakdown p now)
+                   (Incremental.breakdown st))
+            then
+              failf "breakdown diverged after flipping candidate %d at step %d"
+                c step
+            else drive (step + 1)
+          end
+    in
+    drive 0
+
+let check_incremental = incremental_check ~expected_tweak:(fun _ _ -> Frac.zero)
+
+(* --- solver-order: exact optimum bounds the heuristics ----------------- *)
+
+let check_solver_order ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping _ ->
+    let p = Option.get (Lazy.force ctx.problem) in
+    if Problem.num_candidates p > 8 || Problem.num_tuples p > 40 then Skip
+    else
+      let seed = ctx.case.Case.seed land 0xFFFFFF in
+      let v sel = Objective.value p sel in
+      let v_exact = v (Exact.solve p) in
+      let v_greedy = v (Greedy.solve p) in
+      let v_local = v (Local_search.solve ~restarts:2 ~seed p) in
+      let v_anneal =
+        v
+          (Anneal.solve
+             ~options:{ Anneal.default_options with iterations = 400; seed }
+             p)
+      in
+      let v_empty = Objective.empty_value p in
+      let checks =
+        [
+          ("exact <= greedy", v_exact, v_greedy);
+          ("exact <= local-search", v_exact, v_local);
+          ("exact <= anneal", v_exact, v_anneal);
+          ("local-search <= greedy", v_local, v_greedy);
+          ("greedy <= F({})", v_greedy, v_empty);
+          ("anneal <= F({})", v_anneal, v_empty);
+        ]
+      in
+      (match
+         List.find_map
+           (fun (name, lo, hi) ->
+             if Frac.(lo <= hi) then None
+             else
+               Some
+                 (Format.asprintf "%s violated: %a > %a" name Frac.pp lo
+                    Frac.pp hi))
+           checks
+       with
+      | Some msg -> Fail msg
+      | None -> Pass)
+
+(* --- setcover: the Theorem 1 closed form ------------------------------- *)
+
+(* [slope] is the coefficient of the uncovered-element term; the proof says
+   [m + 1]. The [closed-form] fault lowers it to [m]. *)
+let setcover_check ~slope ctx =
+  match ctx.case.Case.payload with
+  | Case.Mapping _ -> Skip
+  | Case.Setcover inst -> (
+    match Setcover.validate inst with
+    | Error e -> failf "invalid SET COVER instance: %s" e
+    | Ok () ->
+      let red = Setcover.reduce inst in
+      let n = Array.length red.Setcover.set_names in
+      let rng = rng_of ctx 4 in
+      let universe =
+        List.sort_uniq String.compare inst.Setcover.universe
+      in
+      let mismatch =
+        List.find_map
+          (fun sel ->
+            let selected = Setcover.cover_of_selection red sel in
+            let covered =
+              List.concat_map
+                (fun (name, elems) ->
+                  if List.mem name selected then elems else [])
+                inst.Setcover.sets
+              |> List.sort_uniq String.compare
+            in
+            let expected =
+              Frac.of_int
+                ((slope red.Setcover.m
+                 * (List.length universe - List.length covered))
+                + (2 * List.length selected))
+            in
+            let got = Objective.value red.Setcover.problem sel in
+            if Frac.equal expected got then None
+            else
+              Some
+                (Format.asprintf
+                   "closed form predicts %a, Eq.9 evaluator gives %a for \
+                    selection %s"
+                   Frac.pp expected Frac.pp got (selection_to_string sel)))
+          (probe_selections rng n)
+      in
+      (match mismatch with Some msg -> Fail msg | None -> Pass))
+
+let check_setcover = setcover_check ~slope:(fun m -> m + 1)
+
+(* --- cq-index: indexed vs unindexed CQ evaluation ---------------------- *)
+
+let check_cq_index ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping m ->
+    let rng = rng_of ctx 5 in
+    let check_inst inst queries =
+      let index = Cq.Index.build inst in
+      let norm answers = List.sort_uniq Subst.compare answers in
+      List.find_map
+        (fun q ->
+          let plain = norm (Cq.answers inst q) in
+          let indexed = norm (Cq.answers_indexed index q) in
+          let lazily = norm (List.of_seq (Cq.answers_seq inst q)) in
+          if not (List.equal Subst.equal plain indexed) then
+            Some
+              (Printf.sprintf
+                 "indexed evaluator differs on a %d-atom query (%d vs %d \
+                  answers)"
+                 (List.length q) (List.length plain) (List.length indexed))
+          else if not (List.equal Subst.equal plain lazily) then
+            Some "answers_seq differs from answers"
+          else
+            (* extend a partial substitution binding a random variable *)
+            let vars =
+              List.fold_left
+                (fun acc a -> String_set.union acc (Atom.vars a))
+                String_set.empty q
+              |> String_set.elements
+            in
+            match vars, Value.Set.elements (Instance.constants inst) with
+            | [], _ | _, [] -> None
+            | vs, consts ->
+              let x = List.nth vs (Random.State.int rng (List.length vs)) in
+              let value =
+                List.nth consts (Random.State.int rng (List.length consts))
+              in
+              let s = Subst.singleton x value in
+              let plain_ext = norm (Cq.extensions inst s q) in
+              let indexed_ext = norm (Cq.extensions_indexed index s q) in
+              if List.equal Subst.equal plain_ext indexed_ext then None
+              else Some "extensions_indexed differs from extensions")
+        queries
+    in
+    let bodies = List.map (fun (t : Tgd.t) -> t.Tgd.body) m.Case.candidates in
+    let heads = List.map (fun (t : Tgd.t) -> t.Tgd.head) m.Case.candidates in
+    (match check_inst m.Case.source bodies with
+    | Some msg -> failf "on the source instance: %s" msg
+    | None -> (
+      match check_inst m.Case.j heads with
+      | Some msg -> failf "on the target instance: %s" msg
+      | None -> Pass))
+
+(* --- chase-determinism: permutation invariance and internal checks ----- *)
+
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let triggers_equal (a : Chase.Trigger.t) (b : Chase.Trigger.t) =
+  a.Chase.Trigger.tgd_index = b.Chase.Trigger.tgd_index
+  && Subst.equal a.Chase.Trigger.subst b.Chase.Trigger.subst
+  && List.equal Tuple.equal a.Chase.Trigger.tuples b.Chase.Trigger.tuples
+  && Value.Set.equal a.Chase.Trigger.nulls b.Chase.Trigger.nulls
+
+let results_equal (a : Chase.result) (b : Chase.result) =
+  Instance.equal a.Chase.solution b.Chase.solution
+  && List.length a.Chase.triggers = List.length b.Chase.triggers
+  && List.for_all2 triggers_equal a.Chase.triggers b.Chase.triggers
+
+let check_chase_determinism ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping m ->
+    let rng = rng_of ctx 6 in
+    let source2 =
+      Instance.of_tuples (shuffle rng (Instance.tuples m.Case.source))
+    in
+    if not (Instance.equal m.Case.source source2) then
+      Fail "instances are not canonical under tuple permutation"
+    else
+      let r1 = Chase.run m.Case.source m.Case.candidates in
+      let r2 = Chase.run source2 m.Case.candidates in
+      let r3 =
+        Chase.run
+          ~index:(Cq.Index.build m.Case.source)
+          m.Case.source m.Case.candidates
+      in
+      if not (results_equal r1 r2) then
+        Fail "chase differs after permuting the source tuples"
+      else if not (results_equal r1 r3) then
+        Fail "chase differs with a prebuilt index"
+      else (
+        match Chase.check_result ~source:m.Case.source r1 with
+        | Error msg -> failf "chase invariant violated: %s" msg
+        | Ok () ->
+          let n = List.length m.Case.candidates in
+          if n = 0 || n > 10 then Pass
+          else
+            let order = shuffle rng (List.init n Fun.id) in
+            let permuted =
+              List.map (fun i -> List.nth m.Case.candidates i) order
+            in
+            let p = Option.get (Lazy.force ctx.problem) in
+            let p' =
+              Problem.make ~weights:m.Case.weights ~source:m.Case.source
+                ~j:m.Case.j permuted
+            in
+            let order = Array.of_list order in
+            let mismatch =
+              List.find_map
+                (fun sel ->
+                  let sel' = Array.init n (fun k -> sel.(order.(k))) in
+                  let v = Objective.value p sel in
+                  let v' = Objective.value p' sel' in
+                  if Frac.equal v v' then None
+                  else
+                    Some
+                      (Format.asprintf
+                         "objective not invariant under candidate \
+                          permutation: %a vs %a on %s"
+                         Frac.pp v Frac.pp v' (selection_to_string sel)))
+                (probe_selections rng n)
+            in
+            (match mismatch with Some msg -> Fail msg | None -> Pass))
+
+(* --- registry ----------------------------------------------------------- *)
+
+let all =
+  [
+    {
+      name = "eq4-eq9";
+      doc = "Full (Eq. 4) fast path agrees with the Eq. 9 evaluator";
+      check = check_eq4_eq9;
+    };
+    {
+      name = "incremental";
+      doc = "Core.Incremental matches the naive objective on flip sequences";
+      check = check_incremental;
+    };
+    {
+      name = "solver-order";
+      doc = "exact <= local-search <= greedy <= F({}) and exact <= anneal";
+      check = check_solver_order;
+    };
+    {
+      name = "setcover";
+      doc = "Theorem 1 closed form equals the evaluator on reductions";
+      check = check_setcover;
+    };
+    {
+      name = "cq-index";
+      doc = "indexed CQ evaluation agrees with the unindexed evaluator";
+      check = check_cq_index;
+    };
+    {
+      name = "chase-determinism";
+      doc = "chase invariant under permutation, indexing, and self-checks";
+      check = check_chase_determinism;
+    };
+  ]
+
+let names = List.map (fun o -> o.name) all
+
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let run o case =
+  match o.check (make_ctx case) with
+  | verdict -> verdict
+  | exception e ->
+    Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+let is_failure o case = match run o case with Fail _ -> true | Pass | Skip -> false
+
+let faults =
+  [
+    ( "flip-delta",
+      {
+        name = "incremental";
+        doc = "BROKEN: perturbs the flip delta of multi-cover candidates";
+        check =
+          incremental_check ~expected_tweak:(fun p c ->
+              if Array.length p.Problem.covers.(c) >= 2 then Frac.one
+              else Frac.zero);
+      } );
+    ( "closed-form",
+      {
+        name = "setcover";
+        doc = "BROKEN: drops the +1 from the closed-form slope";
+        check = setcover_check ~slope:(fun m -> m);
+      } );
+  ]

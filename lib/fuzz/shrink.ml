@@ -1,0 +1,145 @@
+open Relational
+
+(* One pass: try deleting each element of [items] (as rebuilt into a case by
+   [rebuild]) in order, accumulating every deletion that keeps the failure.
+   Returns the surviving items and whether anything was removed. *)
+let sweep ~fails ~rebuild items =
+  let removed = ref false in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | x :: rest ->
+      let candidate = rebuild (List.rev_append kept rest) in
+      if fails candidate then begin
+        removed := true;
+        go kept rest
+      end
+      else go (x :: kept) rest
+  in
+  let survivors = go [] items in
+  (survivors, !removed)
+
+(* Like {!sweep}, but never empties the list (Setcover.validate rejects an
+   empty set list). *)
+let sweep_keep_one ~fails ~rebuild items =
+  let removed = ref false in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | [ x ] when kept = [] -> [ x ]
+    | x :: rest ->
+      let candidate = rebuild (List.rev_append kept rest) in
+      if fails candidate then begin
+        removed := true;
+        go kept rest
+      end
+      else go (x :: kept) rest
+  in
+  let survivors = go [] items in
+  (survivors, !removed)
+
+let shrink_mapping ~fails (case : Case.t) (m : Case.mapping) =
+  let rebuild m' = { case with Case.payload = Case.Mapping m' } in
+  let rec fixpoint m =
+    let candidates, r1 =
+      sweep ~fails
+        ~rebuild:(fun candidates -> rebuild { m with Case.candidates })
+        m.Case.candidates
+    in
+    let m = { m with Case.candidates } in
+    let j_tuples, r2 =
+      sweep ~fails
+        ~rebuild:(fun ts -> rebuild { m with Case.j = Instance.of_tuples ts })
+        (Instance.tuples m.Case.j)
+    in
+    let m = { m with Case.j = Instance.of_tuples j_tuples } in
+    let src_tuples, r3 =
+      sweep ~fails
+        ~rebuild:(fun ts ->
+          rebuild { m with Case.source = Instance.of_tuples ts })
+        (Instance.tuples m.Case.source)
+    in
+    let m = { m with Case.source = Instance.of_tuples src_tuples } in
+    if r1 || r2 || r3 then fixpoint m else m
+  in
+  rebuild (fixpoint m)
+
+let shrink_setcover ~fails (case : Case.t) (s : Core.Setcover.instance) =
+  let rebuild s' = { case with Case.payload = Case.Setcover s' } in
+  let rec fixpoint (s : Core.Setcover.instance) =
+    (* sets (validate demands at least one, so never empty the list) *)
+    let sets, r1 =
+      sweep_keep_one ~fails
+        ~rebuild:(fun sets -> rebuild { s with Core.Setcover.sets })
+        s.Core.Setcover.sets
+    in
+    let s = { s with Core.Setcover.sets } in
+    (* universe elements (removal also filters them out of every set) *)
+    let universe, r2 =
+      sweep ~fails
+        ~rebuild:(fun universe ->
+          rebuild
+            {
+              s with
+              Core.Setcover.universe;
+              sets =
+                List.map
+                  (fun (name, elems) ->
+                    (name, List.filter (fun e -> List.mem e universe) elems))
+                  s.Core.Setcover.sets;
+            })
+        s.Core.Setcover.universe
+    in
+    let s =
+      {
+        s with
+        Core.Setcover.universe;
+        sets =
+          List.map
+            (fun (name, elems) ->
+              (name, List.filter (fun e -> List.mem e universe) elems))
+            s.Core.Setcover.sets;
+      }
+    in
+    (* members within each set *)
+    let r3 = ref false in
+    let sets = ref s.Core.Setcover.sets in
+    List.iteri
+      (fun idx (name, _) ->
+        let replace_at elems =
+          List.mapi
+            (fun k (n, es) -> if k = idx then (name, elems) else (n, es))
+            !sets
+        in
+        let elems, removed =
+          sweep ~fails
+            ~rebuild:(fun elems ->
+              rebuild { s with Core.Setcover.sets = replace_at elems })
+            (List.assoc name !sets)
+        in
+        if removed then begin
+          r3 := true;
+          sets := replace_at elems
+        end)
+      s.Core.Setcover.sets;
+    let r3 = !r3 in
+    let s = { s with Core.Setcover.sets = !sets } in
+    (* budget decrements *)
+    let rec lower_budget s changed =
+      if s.Core.Setcover.budget <= 1 then (s, changed)
+      else
+        let smaller =
+          { s with Core.Setcover.budget = s.Core.Setcover.budget - 1 }
+        in
+        if fails (rebuild smaller) then lower_budget smaller true
+        else (s, changed)
+    in
+    let s, r4 = lower_budget s false in
+    if r1 || r2 || r3 || r4 then fixpoint s else s
+  in
+  rebuild (fixpoint s)
+
+let shrink ~fails case =
+  if not (fails case) then case
+  else
+    match case.Case.payload with
+    | Case.Mapping m -> shrink_mapping ~fails case m
+    | Case.Setcover s -> shrink_setcover ~fails case s

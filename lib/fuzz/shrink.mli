@@ -1,0 +1,17 @@
+(** Greedy counterexample shrinking.
+
+    [shrink ~fails case] repeatedly tries to delete one element at a time —
+    candidates, then target tuples, then source tuples of a mapping case;
+    sets, universe elements, set members, then budget decrements of a SET
+    COVER case — keeping a deletion whenever [fails] still holds on the
+    smaller case, until a full sweep removes nothing. The result is
+    1-minimal: removing any single remaining element makes the failure
+    disappear. Deterministic: deletion order is fixed, so the same failing
+    case always shrinks to the same counterexample.
+
+    [fails] must be a pure predicate (the oracle checks qualify: their
+    auxiliary randomness is derived from the case seed, which shrinking
+    preserves). *)
+
+val shrink : fails : (Case.t -> bool) -> Case.t -> Case.t
+(** Returns the input unchanged if [fails] does not hold on it. *)

@@ -93,6 +93,27 @@ let instance_gen =
     let* threes = list_size (int_range 0 8) (tuple_gen ~rel:"r3" ~arity:3) in
     return (Instance.of_tuples (twos @ threes)))
 
+(* Like {!small_value_gen} but a third of the values are labeled nulls, as
+   in a chased target instance. *)
+let nullable_value_gen =
+  QCheck2.Gen.(
+    let* k = int_range 0 8 in
+    let* null = int_range 0 2 in
+    return (if null = 0 then Value.Null k else Value.Const (Printf.sprintf "c%d" k)))
+
+let nullable_tuple_gen ~rel ~arity =
+  QCheck2.Gen.(
+    map (fun vs -> Tuple.make rel vs) (list_size (return arity) nullable_value_gen))
+
+(* A random instance over r2/2 and r3/3 containing labeled nulls. *)
+let nullable_instance_gen =
+  QCheck2.Gen.(
+    let* twos = list_size (int_range 0 8) (nullable_tuple_gen ~rel:"r2" ~arity:2) in
+    let* threes =
+      list_size (int_range 0 8) (nullable_tuple_gen ~rel:"r3" ~arity:3)
+    in
+    return (Instance.of_tuples (twos @ threes)))
+
 (* A pool of six candidate tgds over the appendix vocabulary; random
    selection problems are built by sampling instances and a subset of this
    pool. Shared by the solver property tests and the incremental-evaluator

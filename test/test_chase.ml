@@ -82,6 +82,148 @@ let basic_tests =
              ~target:Fixtures.instance_j Fixtures.theta1));
   ]
 
+(* Shapes the fuzzer's generator reaches but the appendix example does not:
+   tgds with an empty frontier, repeated head atoms sharing existentials,
+   and vacuously / trivially satisfied dependencies. *)
+let edge_case_tests =
+  [
+    Alcotest.test_case "empty frontier: head disconnected from body" `Quick
+      (fun () ->
+        (* No body variable reaches the head, so every trigger invents a
+           fresh pair of nulls unrelated to its homomorphism. *)
+        let disconnected =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+            ~head:[ Atom.make "org" [ v "X"; v "Y" ] ]
+            ()
+        in
+        let ({ Chase.solution; triggers } as result) =
+          chase_appendix [ disconnected ]
+        in
+        Alcotest.(check int) "one trigger per body hom" 2 (List.length triggers);
+        Alcotest.(check int)
+          "fresh null pair per trigger" 4
+          (Value.Set.cardinal (Instance.null_labels solution));
+        (match Chase.check_result ~source:Fixtures.instance_i result with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "check_result: %s" msg);
+        (* Any target providing one org tuple satisfies it, because the
+           existentials are free to map anywhere. *)
+        Alcotest.(check bool)
+          "one org tuple suffices" true
+          (Chase.satisfies ~source:Fixtures.instance_i
+             ~target:(Instance.of_tuples [ Tuple.of_consts "org" [ "a"; "b" ] ])
+             disconnected);
+        Alcotest.(check bool)
+          "empty target violates" false
+          (Chase.satisfies ~source:Fixtures.instance_i ~target:Instance.empty
+             disconnected));
+    Alcotest.test_case "repeated head atoms share their existential" `Quick
+      (fun () ->
+        let repeated =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+            ~head:
+              [
+                Atom.make "org" [ v "T"; v "P" ]; Atom.make "org" [ v "T"; v "E" ];
+              ]
+            ()
+        in
+        let ({ Chase.triggers; _ } as result) = chase_appendix [ repeated ] in
+        List.iter
+          (fun (tr : Chase.Trigger.t) ->
+            Alcotest.(check int) "two head tuples" 2 (List.length tr.tuples);
+            Alcotest.(check int)
+              "one shared null" 1
+              (Value.Set.cardinal tr.nulls);
+            (* both tuples carry the shared null in the first column *)
+            List.iter
+              (fun (t : Tuple.t) ->
+                Alcotest.(check bool)
+                  "null in first column" true
+                  (Value.is_null t.Tuple.values.(0)))
+              tr.tuples)
+          triggers;
+        match Chase.check_result ~source:Fixtures.instance_i result with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "check_result: %s" msg);
+    Alcotest.test_case "identical duplicate head atoms collapse in solution"
+      `Quick (fun () ->
+        let dup =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+            ~head:
+              [
+                Atom.make "org" [ v "X"; v "P" ]; Atom.make "org" [ v "X"; v "P" ];
+              ]
+            ()
+        in
+        let ({ Chase.solution; triggers } as result) = chase_appendix [ dup ] in
+        (* each trigger lists both head atoms, but the instance dedups *)
+        List.iter
+          (fun (tr : Chase.Trigger.t) ->
+            Alcotest.(check int) "two listed tuples" 2 (List.length tr.tuples))
+          triggers;
+        Alcotest.(check int) "two distinct tuples" 2 (Instance.cardinal solution);
+        match Chase.check_result ~source:Fixtures.instance_i result with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "check_result: %s" msg);
+    Alcotest.test_case "vacuous tgd: body relation absent from source" `Quick
+      (fun () ->
+        let vacuous =
+          Tgd.make
+            ~body:[ Atom.make "absent" [ v "A" ] ]
+            ~head:[ Atom.make "org" [ v "A"; v "A" ] ]
+            ()
+        in
+        let { Chase.solution; triggers } = chase_appendix [ vacuous ] in
+        Alcotest.(check bool) "no tuples" true (Instance.is_empty solution);
+        Alcotest.(check int) "no triggers" 0 (List.length triggers);
+        (* vacuously satisfied by any target, even the empty one *)
+        Alcotest.(check bool)
+          "satisfied with empty target" true
+          (Chase.satisfies ~source:Fixtures.instance_i ~target:Instance.empty
+             vacuous));
+    Alcotest.test_case "trivially-true tgds under Implication" `Quick (fun () ->
+        (* A head that is a sub-conjunction of another's is implied… *)
+        let strong =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+            ~head:
+              [
+                Atom.make "task" [ v "P"; v "E"; v "T" ];
+                Atom.make "org" [ v "T"; v "O" ];
+              ]
+            ()
+        in
+        let weak =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+            ~head:[ Atom.make "org" [ v "T"; v "O" ] ]
+            ()
+        in
+        Alcotest.(check bool) "head projection" true
+          (Chase.Implication.implies strong weak);
+        Alcotest.(check bool) "not conversely" false
+          (Chase.Implication.implies weak strong);
+        (* …a duplicated head atom changes nothing… *)
+        let doubled =
+          Tgd.make ~body:weak.Tgd.body ~head:(weak.Tgd.head @ weak.Tgd.head) ()
+        in
+        Alcotest.(check bool) "duplicate head equivalent" true
+          (Chase.Implication.equivalent weak doubled);
+        (* …and every tgd implies an existentially weakened copy of
+           itself. *)
+        let weakened =
+          Tgd.make
+            ~body:[ Atom.make "proj" [ v "P"; v "E"; v "O" ] ]
+            ~head:[ Atom.make "org" [ v "T"; v "U" ] ]
+            ()
+        in
+        Alcotest.(check bool) "existential weakening" true
+          (Chase.Implication.implies weak weakened));
+  ]
+
 (* Random full tgds over the r2/r3 source vocabulary, targeting t2/t3. *)
 let full_tgd_gen =
   let open QCheck2.Gen in
@@ -392,6 +534,7 @@ let () =
   Alcotest.run "chase"
     [
       ("basic", basic_tests);
+      ("edge-cases", edge_case_tests);
       ("properties", property_tests);
       ("implication", implication_tests);
       ("certain", certain_tests);

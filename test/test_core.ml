@@ -236,6 +236,38 @@ let setcover_tests =
             (Setcover.closed_form example_cover ~selected)
             (Objective.value p s)
         done);
+    Alcotest.test_case "Theorem 1 formula: hand-computed golden values" `Quick
+      (fun () ->
+        (* m = 2·budget = 4, |U| = 5, so F(M) = 5·(5 − |∪ R_i|) + 2|M|:
+           F({})      = 5·5 + 0 = 25
+           F({A})     = 5·(5−3) + 2 = 12   (A covers {1,2,3})
+           F({B,C})   = 5·(5−3) + 4 = 14   (B∪C = {3,4,5})
+           F({A,C})   = 5·0 + 4 = 4        (a minimum cover)
+           F(all 4)   = 5·0 + 8 = 8 *)
+        let red = Setcover.reduce example_cover in
+        List.iter
+          (fun (selected, expected) ->
+            Alcotest.check frac
+              (Printf.sprintf "F({%s})" (String.concat "," selected))
+              (Frac.of_int expected)
+              (Setcover.closed_form example_cover ~selected);
+            let s =
+              Array.map
+                (fun n -> List.mem n selected)
+                red.Setcover.set_names
+            in
+            Alcotest.check frac
+              (Printf.sprintf "Eq.9 on reduction, {%s}"
+                 (String.concat "," selected))
+              (Frac.of_int expected)
+              (Objective.value red.Setcover.problem s))
+          [
+            ([], 25);
+            ([ "A" ], 12);
+            ([ "B"; "C" ], 14);
+            ([ "A"; "C" ], 4);
+            ([ "A"; "B"; "C"; "D" ], 8);
+          ]);
     Alcotest.test_case "optimal selection is a minimum cover" `Quick (fun () ->
         let red = Setcover.reduce example_cover in
         let best = Exact.solve red.Setcover.problem in
@@ -291,10 +323,22 @@ let setcover_property_tests =
             let s =
               Array.init (Array.length names) (fun i -> mask land (1 lsl i) <> 0)
             in
-            Frac.equal
-              (Setcover.closed_form inst ~selected)
-              (Objective.value red.Setcover.problem s))
-          [ 0; 1; (1 lsl Array.length names) - 1 ]);
+            (* the literal Theorem 1 formula, computed independently; its
+               [m] is the decision threshold 2·budget *)
+            let m = 2 * inst.Setcover.budget in
+            let covered =
+              List.concat_map
+                (fun n -> List.assoc n inst.Setcover.sets)
+                selected
+              |> List.sort_uniq String.compare |> List.length
+            in
+            let u = List.length (List.sort_uniq String.compare inst.Setcover.universe) in
+            let formula =
+              Frac.of_int (((m + 1) * (u - covered)) + (2 * List.length selected))
+            in
+            Frac.equal formula (Setcover.closed_form inst ~selected)
+            && Frac.equal formula (Objective.value red.Setcover.problem s))
+          (List.init (1 lsl Array.length names) Fun.id));
     Test.make ~name:"decide agrees with brute-force set cover" ~count:40
       instance_gen (fun inst ->
         let universe = List.sort_uniq String.compare inst.Setcover.universe in

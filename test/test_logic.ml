@@ -180,6 +180,25 @@ let cq_property_tests =
         | Some v ->
           let s = Subst.singleton "X" v in
           subst_set_equal (Cq.extensions inst s q) (Cq.extensions_indexed index s q));
+    Test.make ~name:"indexed evaluator agrees on instances with nulls"
+      ~count:200 (Gen.pair Fixtures.nullable_instance_gen Fixtures.cq_gen)
+      (fun (inst, q) ->
+        let index = Cq.Index.build inst in
+        subst_set_equal (Cq.answers inst q) (Cq.answers_indexed index q));
+    Test.make ~name:"answers_seq enumerates exactly the answers" ~count:200
+      (Gen.pair Fixtures.nullable_instance_gen Fixtures.cq_gen)
+      (fun (inst, q) ->
+        subst_set_equal (Cq.answers inst q) (List.of_seq (Cq.answers_seq inst q)));
+    Test.make ~name:"indexed extensions agree on instances with nulls"
+      ~count:100 (Gen.pair Fixtures.nullable_instance_gen Fixtures.cq_gen)
+      (fun (inst, q) ->
+        let index = Cq.Index.build inst in
+        (* bind X to some value of the instance — nulls included *)
+        match Instance.tuples inst with
+        | [] -> true
+        | t :: _ ->
+          let s = Subst.singleton "X" t.Relational.Tuple.values.(0) in
+          subst_set_equal (Cq.extensions inst s q) (Cq.extensions_indexed index s q));
         Test.make ~name:"answers bind exactly the query variables" ~count:200
       (Gen.pair Fixtures.instance_gen Fixtures.cq_gen) (fun (inst, q) ->
         let qvars =
