@@ -342,6 +342,57 @@ let parallel_speedup () =
     (fun a b -> Experiments.Table.to_string a = Experiments.Table.to_string b);
   Experiments.Common.set_jobs 1
 
+(* The telemetry layer's cost contract, measured: a disabled sink must be
+   ≈ zero cost on the hot flip kernel (the budget is ~2% — one atomic load
+   and branch per probe), and an enabled no-op sink should stay cheap
+   enough to leave on under fuzzing. Timings use the best of three runs to
+   shave scheduler noise; the verdict line is the guard CI greps for. *)
+let telemetry_overhead () =
+  Format.printf "@.=====================================================@.";
+  Format.printf " Telemetry: observation cost on the flip kernel@.";
+  Format.printf "=====================================================@.";
+  let p, _, st = Lazy.force flip_state in
+  let m = Core.Problem.num_candidates p in
+  let iters = 2_000_000 in
+  let kernel () =
+    for i = 0 to iters - 1 do
+      ignore (Core.Incremental.flip_delta st (i mod m))
+    done
+  in
+  let best_ms f =
+    ignore (f ());
+    let run () = snd (Util.Timer.time_ms f) in
+    Float.min (run ()) (Float.min (run ()) (run ()))
+  in
+  Telemetry.set_enabled false;
+  let off = best_ms kernel in
+  Telemetry.set_enabled true;
+  let on = best_ms kernel in
+  Telemetry.set_enabled false;
+  (* the disabled fast path in isolation: one counter check per iteration *)
+  let c = Telemetry.Counter.make "bench.disabled_probe" in
+  let checks = 50_000_000 in
+  let check_loop () =
+    for _ = 1 to checks do
+      Telemetry.Counter.incr c
+    done
+  in
+  let disabled_check_ms = best_ms check_loop in
+  let per_probe_ns = disabled_check_ms *. 1e6 /. float_of_int checks in
+  let per_flip_ns = off *. 1e6 /. float_of_int iters in
+  let disabled_pct = 100. *. per_probe_ns /. per_flip_ns in
+  Format.printf
+    "flip_delta x%d          disabled %8.1f ms   enabled(no-op) %8.1f ms   \
+     (+%.2f%%)@."
+    iters off on
+    (100. *. (on -. off) /. off);
+  Format.printf
+    "disabled counter check      %6.2f ns/op  =  %.3f%% of one %.0f ns \
+     flip probe@."
+    per_probe_ns disabled_pct per_flip_ns;
+  Format.printf "telemetry disabled-sink budget (< 2%% of flip kernel): %s@."
+    (if disabled_pct < 2.0 then "OK" else "EXCEEDED")
+
 let () =
   Format.printf "=====================================================@.";
   Format.printf " Reproduction: every table and figure (E1..E14)@.";
@@ -366,4 +417,5 @@ let () =
   List.iter
     (fun (name, est) -> Format.printf "%-35s %a / run@." name pp_time est)
     rows;
-  parallel_speedup ()
+  parallel_speedup ();
+  telemetry_overhead ()

@@ -1,61 +1,41 @@
 (* The mapping-selection CLI: load a scenario document (or generate one with
-   iBench) and run a selection solver on it. *)
+   iBench) and run a selection solver on it. Solvers are resolved by name
+   through the Core.Solver registry, so a newly registered solver is
+   immediately selectable here. *)
 
 open Cmdliner
 
-type solver_choice =
-  | Cmd
-  | Greedy
-  | Local
-  | Exact
-  | All
-
-let solver_conv =
-  let parse = function
-    | "cmd" -> Ok Cmd
-    | "greedy" -> Ok Greedy
-    | "local" -> Ok Local
-    | "exact" -> Ok Exact
-    | "all" -> Ok All
-    | s -> Error (`Msg (Printf.sprintf "unknown solver %s" s))
-  in
-  let print ppf s =
-    Format.pp_print_string ppf
-      (match s with
-      | Cmd -> "cmd"
-      | Greedy -> "greedy"
-      | Local -> "local"
-      | Exact -> "exact"
-      | All -> "all")
-  in
-  Arg.conv (parse, print)
-
 let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
+  let solver_impl =
+    match Core.Solver.find solver with
+    | Some s -> s
+    | None ->
+      Cli.die "unknown solver %s (known: %s)" solver
+        (String.concat ", " (Core.Solver.names ()))
+  in
   let problem = Core.Problem.make ~weights ~source ~j candidates in
-  let selection, fractional =
+  let fractional = ref None in
+  let selection =
     match solver with
-    | Cmd ->
+    | "cmd" ->
+      (* called directly (not through the registry wrapper) to keep the
+         fractional ADMM solution for the per-candidate display *)
       let r = Core.Cmd.solve problem in
-      (r.Core.Cmd.selection, Some r.Core.Cmd.fractional)
-    | Greedy -> (Core.Greedy.solve problem, None)
-    | Local ->
-      let sel =
-        if jobs > 1 then
-          Parallel.Pool.with_pool ~jobs (fun pool ->
-              Core.Local_search.solve ~pool ~restarts:3 problem)
-        else Core.Local_search.solve ~restarts:3 problem
-      in
-      (sel, None)
-    | Exact -> (Core.Exact.solve problem, None)
-    | All -> (Array.make (Core.Problem.num_candidates problem) true, None)
+      fractional := Some r.Core.Cmd.fractional;
+      r.Core.Cmd.selection
+    | _ ->
+      if jobs > 1 then
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            Core.Solver.solve solver_impl ~pool problem)
+      else Core.Solver.solve solver_impl problem
   in
   Format.printf "candidates (%d):@." (List.length candidates);
   List.iteri
     (fun i tgd ->
       let context =
-        match (fractional, solver) with
+        match (!fractional, solver) with
         | Some f, _ -> Printf.sprintf " in=%.3f" f.(i)
-        | None, All ->
+        | None, "all" ->
           (* 'all' does not optimise anything, so surface each candidate's
              objective contribution instead of a solver diagnostic *)
           let s = problem.Core.Problem.stats.(i) in
@@ -76,9 +56,14 @@ let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
     Format.printf "mapping-level vs ground truth: %a@." Metrics.pp
       (Metrics.mapping_level ~candidates ~truth selection)
 
-let run file scenario seed solver jobs pi_corresp pi_errors pi_unexplained rows w1 w2 w3 =
+let run file scenario seed solver jobs trace pi_corresp pi_errors pi_unexplained
+    rows w1 w2 w3 =
+  Cli.install_trace trace;
+  if Option.is_none (Core.Solver.find solver) then
+    Cli.die "unknown solver %s (known: %s)" solver
+      (String.concat ", " (Core.Solver.names ()));
   let weights = { Core.Problem.w_unexplained = w1; w_errors = w2; w_size = w3 } in
-  let jobs = Option.value ~default:(Parallel.Pool.default_jobs ()) jobs in
+  let jobs = Cli.resolve_jobs jobs in
   match scenario, file with
   | Some name, _ -> (
     match Scenarios.Zoo.find name with
@@ -140,18 +125,12 @@ let scenario =
   Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
          ~doc:"A named scenario from the zoo (appendix, bibliography, hr, flights).")
 
-let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+let seed = Cli.seed ~default:42 ~doc:"Generator seed."
 
 let solver =
-  Arg.(value & opt solver_conv Cmd & info [ "s"; "solver" ]
-         ~doc:"Solver: cmd, greedy, local, exact or all.")
-
-let jobs =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Worker domains for parallel solver phases (default: the \
-               $(b,PARALLEL_JOBS) environment variable, else the \
-               recommended domain count). Results are identical for every \
-               N; 1 disables parallelism.")
+  Arg.(value & opt string "cmd" & info [ "s"; "solver" ] ~docv:"NAME"
+         ~doc:"Solver from the Core.Solver registry: cmd, greedy, local, \
+               exact, anneal or all.")
 
 let pi name doc = Arg.(value & opt int 0 & info [ name ] ~doc)
 
@@ -164,7 +143,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cmd_select" ~doc)
     Term.(
-      const run $ file $ scenario $ seed $ solver $ jobs
+      const run $ file $ scenario $ seed $ solver $ Cli.jobs $ Cli.trace
       $ pi "pi-corresp" "Percent of target relations with random correspondences."
       $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
       $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."

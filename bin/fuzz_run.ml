@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+let die = Cli.die
 
 let resolve_oracles spec =
   match spec with
@@ -76,7 +76,8 @@ let replay_paths oracles paths =
     files;
   if !failed then 1 else 0
 
-let run seed budget oracle_spec fault jobs corpus_dir replay list_oracles =
+let run seed budget oracle_spec fault jobs trace corpus_dir replay list_oracles =
+  Cli.install_trace trace;
   if list_oracles then begin
     List.iter
       (fun (o : Fuzz.Oracle.t) ->
@@ -90,10 +91,7 @@ let run seed budget oracle_spec fault jobs corpus_dir replay list_oracles =
     | _ :: _ -> replay_paths oracles replay
     | [] ->
       if budget < 0 then die "--budget must be nonnegative";
-      let jobs =
-        match jobs with Some j -> j | None -> Parallel.Pool.default_jobs ()
-      in
-      if jobs < 1 then die "--jobs must be positive";
+      let jobs = Cli.resolve_jobs jobs in
       let summary =
         Parallel.Pool.with_pool ~jobs (fun pool ->
             Fuzz.Driver.run ~pool ~oracles ~seed ~budget ())
@@ -107,7 +105,8 @@ let run seed budget oracle_spec fault jobs corpus_dir replay list_oracles =
       end
 
 let seed =
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed; case $(i,i) uses the derived seed $(i,derive seed i).")
+  Cli.seed ~default:42
+    ~doc:"Campaign seed; case $(i,i) uses the derived seed $(i,derive seed i)."
 
 let budget =
   Arg.(value & opt int 200 & info [ "budget" ] ~doc:"Number of generated cases.")
@@ -119,10 +118,6 @@ let oracle =
 let fault =
   Arg.(value & opt (some string) None & info [ "inject-fault" ] ~docv:"NAME"
          ~doc:"Replace an oracle with a deliberately broken variant, to exercise the shrink/corpus pipeline.")
-
-let jobs =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
-         ~doc:"Worker domains; PARALLEL_JOBS or the machine default when omitted. Never affects results.")
 
 let corpus_dir =
   Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR"
@@ -140,7 +135,7 @@ let cmd =
   Cmd.v
     (Cmd.info "fuzz_run" ~doc)
     Term.(
-      const run $ seed $ budget $ oracle $ fault $ jobs $ corpus_dir $ replay
-      $ list_oracles)
+      const run $ seed $ budget $ oracle $ fault $ Cli.jobs $ Cli.trace
+      $ corpus_dir $ replay $ list_oracles)
 
 let () = exit (Cmd.eval' cmd)

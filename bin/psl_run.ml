@@ -4,7 +4,8 @@
 
 open Cmdliner
 
-let run path learn iterations rate =
+let run path learn iterations rate trace =
+  Cli.install_trace trace;
   match Psl.Program.parse_file path with
   | Error e ->
     Format.eprintf "%s: %a@." path Psl.Program.pp_error e;
@@ -62,6 +63,7 @@ let rate = Arg.(value & opt float 0.5 & info [ "rate" ] ~doc:"Learning rate.")
 
 let cmd =
   let doc = "MAP inference (and weight learning) for PSL programs" in
-  Cmd.v (Cmd.info "psl_run" ~doc) Term.(const run $ path $ learn $ iterations $ rate)
+  Cmd.v (Cmd.info "psl_run" ~doc)
+    Term.(const run $ path $ learn $ iterations $ rate $ Cli.trace)
 
 let () = exit (Cmd.eval cmd)

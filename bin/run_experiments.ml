@@ -14,8 +14,9 @@ let render format table =
   | Markdown -> Experiments.Table.to_markdown table
   | Csv -> Experiments.Table.to_csv table
 
-let run_ids format jobs ids =
-  Option.iter Experiments.Common.set_jobs jobs;
+let run_ids format jobs trace ids =
+  Cli.install_trace trace;
+  Experiments.Common.set_jobs (Cli.resolve_jobs jobs);
   let to_run =
     match ids with
     | [] -> List.map (fun (id, _, run) -> (id, run)) Experiments.Registry.all
@@ -52,13 +53,6 @@ let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID"
          ~doc:"Experiment ids (E1..E13); all when omitted.")
 
-let jobs =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Worker domains for parallel execution (default: the \
-               $(b,PARALLEL_JOBS) environment variable, else the \
-               recommended domain count). Results are identical for every \
-               N; 1 disables parallelism.")
-
 let fmt_conv =
   Arg.conv
     ( (function
@@ -77,6 +71,6 @@ let format =
 let cmd =
   let doc = "Run the reproduction's experiment suite" in
   Cmd.v (Cmd.info "run_experiments" ~doc)
-    Term.(const run_ids $ format $ jobs $ ids)
+    Term.(const run_ids $ format $ Cli.jobs $ Cli.trace $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -27,16 +27,15 @@ let parse_primitives spec =
       | Ok l, Ok p -> Ok (l @ [ p ]))
     (Ok []) parts
 
-let run primitives seed rows pi_corresp pi_errors pi_unexplained output =
+let run primitives seed trace rows pi_corresp pi_errors pi_unexplained output =
+  Cli.install_trace trace;
   let primitives =
     match primitives with
     | None -> List.map (fun k -> (k, 1)) Ibench.Primitive.all
     | Some spec -> (
       match parse_primitives spec with
       | Ok l -> l
-      | Error msg ->
-        prerr_endline msg;
-        exit 2)
+      | Error msg -> Cli.die "%s" msg)
   in
   let config =
     {
@@ -51,9 +50,7 @@ let run primitives seed rows pi_corresp pi_errors pi_unexplained output =
   in
   (match Ibench.Config.validate config with
   | Ok () -> ()
-  | Error msg ->
-    Printf.eprintf "scenario_gen: invalid configuration: %s\n" msg;
-    exit 2);
+  | Error msg -> Cli.die "scenario_gen: invalid configuration: %s" msg);
   let s = Ibench.Generator.generate config in
   let doc =
     {
@@ -76,7 +73,7 @@ let primitives =
   Arg.(value & opt (some string) None & info [ "p"; "primitives" ]
          ~docv:"SPEC" ~doc:"Primitive counts, e.g. 'CP=2,ME=1,VP=1'; one of each when omitted.")
 
-let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+let seed = Cli.seed ~default:42 ~doc:"Generator seed."
 
 let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Source rows per relation.")
 
@@ -91,7 +88,7 @@ let cmd =
   Cmd.v
     (Cmd.info "scenario_gen" ~doc)
     Term.(
-      const run $ primitives $ seed $ rows
+      const run $ primitives $ seed $ Cli.trace $ rows
       $ pi "pi-corresp" "Percent of target relations with random correspondences."
       $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
       $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."

@@ -38,7 +38,16 @@ let fire_tgd ~nulls ~tgd_index (tgd : Tgd.t) index =
   in
   List.map fire (Cq.answers_indexed index tgd.Tgd.body)
 
+let runs_counter = Telemetry.Counter.make "chase.runs"
+
+let triggers_counter = Telemetry.Counter.make "chase.triggers"
+
+let tuples_counter = Telemetry.Counter.make "chase.tuples_produced"
+
+let triggers_hist = Telemetry.Histogram.make "chase.triggers_per_run"
+
 let run ?nulls ?index src tgds =
+  Telemetry.with_span "chase.run" @@ fun () ->
   let nulls = match nulls with Some n -> n | None -> Null_source.create () in
   (* one index over the source serves every tgd body; callers chasing the
      same source repeatedly (e.g. once per candidate) should build it once
@@ -52,6 +61,16 @@ let run ?nulls ?index src tgds =
       (fun inst (tr : Trigger.t) -> Instance.add_all tr.Trigger.tuples inst)
       Instance.empty triggers
   in
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr runs_counter;
+    let n_triggers = List.length triggers in
+    Telemetry.Counter.add triggers_counter n_triggers;
+    Telemetry.Counter.add tuples_counter
+      (List.fold_left
+         (fun acc (tr : Trigger.t) -> acc + List.length tr.Trigger.tuples)
+         0 triggers);
+    Telemetry.Histogram.observe triggers_hist (float_of_int n_triggers)
+  end;
   { solution; triggers }
 
 let universal_solution ?nulls ?index src tgds = (run ?nulls ?index src tgds).solution

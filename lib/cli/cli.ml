@@ -1,0 +1,70 @@
+open Cmdliner
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel phases (default: the \
+           $(b,PARALLEL_JOBS) environment variable, else the recommended \
+           domain count). Results are identical for every N; 1 disables \
+           parallelism.")
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some j -> die "--jobs must be a positive integer, got %d" j
+  | None -> (
+    try Parallel.Pool.default_jobs ()
+    with Invalid_argument msg -> die "%s" msg)
+
+let seed ~default ~doc =
+  Arg.(value & opt int default & info [ "seed" ] ~doc)
+
+type trace = {
+  trace : bool;
+  trace_out : string option;
+}
+
+let trace =
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Print a telemetry report (span tree, span/counter aggregates) \
+             to stderr at exit. Observability only: results are identical \
+             with and without tracing.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream telemetry as JSON lines to $(docv): one object per \
+             span as it closes, plus counter/gauge/histogram/span \
+             aggregates at exit. Combinable with $(b,--trace).")
+  in
+  Term.(
+    const (fun trace trace_out -> { trace; trace_out }) $ trace_flag $ trace_out)
+
+let install_trace { trace; trace_out } =
+  (match trace_out with
+  | None -> ()
+  | Some path -> (
+    match open_out path with
+    | oc -> Telemetry.set_jsonl (Some oc)
+    | exception Sys_error msg -> die "--trace-out: %s" msg));
+  if trace then Telemetry.set_human (Some stderr);
+  if trace || trace_out <> None then begin
+    Telemetry.set_enabled true;
+    Telemetry.flush_at_exit ()
+  end

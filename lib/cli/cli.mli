@@ -1,0 +1,46 @@
+(** Shared command-line plumbing for the repo's binaries.
+
+    Every binary used to hand-roll its own [--jobs], [--seed] and tracing
+    flags; this module is the single copy. The flags are parsed, validated
+    and documented identically everywhere:
+
+    - [--jobs]/[-j] (and the [PARALLEL_JOBS] environment variable) size the
+      {!Parallel.Pool}; results are identical for every value, 1 disables
+      parallelism. Non-positive values exit with status 2.
+    - [--seed] is the deterministic root seed of whatever the binary
+      generates.
+    - [--trace] prints a human telemetry report (span tree, span/counter
+      aggregates) to stderr at exit; [--trace-out FILE] streams JSON-lines
+      telemetry to [FILE] (combinable with [--trace]). Either flag enables
+      the {!Telemetry} layer; neither changes any result.
+
+    Validation failures exit with status 2, matching [scenario_gen]'s
+    config validation. *)
+
+val die : ('a, unit, string, 'b) format4 -> 'a
+(** Prints the message to stderr and exits with status 2 — the shared
+    usage-error convention. *)
+
+val jobs : int option Cmdliner.Term.t
+(** [--jobs]/[-j N]; [None] when omitted. Resolve with {!resolve_jobs}. *)
+
+val resolve_jobs : int option -> int
+(** The effective worker count: the flag when given (exit 2 unless
+    [>= 1]), else [PARALLEL_JOBS] (exit 2 when set but invalid), else
+    [Domain.recommended_domain_count ()]. *)
+
+val seed : default:int -> doc:string -> int Cmdliner.Term.t
+(** [--seed N] with the binary's default. *)
+
+type trace = {
+  trace : bool;  (** [--trace]: human report to stderr at exit *)
+  trace_out : string option;  (** [--trace-out FILE]: JSONL stream *)
+}
+
+val trace : trace Cmdliner.Term.t
+(** The two tracing flags, as one term. *)
+
+val install_trace : trace -> unit
+(** Enables and wires the {!Telemetry} sinks per the flags (a no-op when
+    both are off), registering a single at-exit flush. Exit 2 when the
+    [--trace-out] file cannot be opened. *)

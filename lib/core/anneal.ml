@@ -14,8 +14,12 @@ let default_options =
    accepted) rather than a full objective re-evaluation. The rng is consumed
    in exactly the same order as the naive implementation — a float is drawn
    only for non-improving proposals — so solutions are unchanged for a given
-   seed. *)
-let solve ?(options = default_options) (p : Problem.t) =
+   seed. [?pool] exists for signature parity with the other solvers (a single
+   chain is inherently sequential); [?seed] overrides [options.seed]. *)
+let solve ?pool:_ ?seed ?(options = default_options) (p : Problem.t) =
+  let options =
+    match seed with Some seed -> { options with seed } | None -> options
+  in
   let m = Problem.num_candidates p in
   if m = 0 then [||]
   else begin

@@ -16,9 +16,17 @@ type options = {
 
 val default_options : options
 
-val solve : ?options : options -> Problem.t -> bool array
+val solve :
+  ?pool : Parallel.Pool.t ->
+  ?seed : int ->
+  ?options : options ->
+  Problem.t ->
+  bool array
 (** The best selection visited (which is at least as good as the final
-    state). *)
+    state). [seed] overrides [options.seed]; [pool] is accepted for
+    signature parity with the sibling solvers ({!Core.Solver}) and ignored
+    — a single annealing chain is inherently sequential (use {!solve_multi}
+    to fan chains out). *)
 
 val solve_multi :
   ?pool : Parallel.Pool.t ->

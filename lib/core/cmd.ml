@@ -97,19 +97,26 @@ let threshold_round (p : Problem.t) tau fractional =
   Array.init (Problem.num_candidates p) (fun c -> fractional.(c) >= tau)
 
 let solve ?(options = default_options) (p : Problem.t) =
-  let reduced = Preprocess.run p in
+  let reduced, model =
+    Telemetry.with_span "cmd.ground" (fun () ->
+        let reduced = Preprocess.run p in
+        (reduced, build_model ~squared:options.squared reduced.Preprocess.problem))
+  in
   let rp = reduced.Preprocess.problem in
-  let model = build_model ~squared:options.squared rp in
-  let admm = Psl.Admm.solve ~options:options.admm model in
+  let admm =
+    Telemetry.with_span "cmd.solve" (fun () ->
+        Psl.Admm.solve ~options:options.admm model)
+  in
   let m = Problem.num_candidates p in
   let fractional = Array.sub admm.Psl.Admm.solution 0 m in
-  let rounded =
-    match options.rounding with
-    | Conditional -> conditional_round rp fractional
-    | Threshold tau -> threshold_round rp tau fractional
-  in
   let selection =
-    if options.repair then Local_search.improve rp rounded else rounded
+    Telemetry.with_span "cmd.round" (fun () ->
+        let rounded =
+          match options.rounding with
+          | Conditional -> conditional_round rp fractional
+          | Threshold tau -> threshold_round rp tau fractional
+        in
+        if options.repair then Local_search.improve rp rounded else rounded)
   in
   {
     selection;

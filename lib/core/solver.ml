@@ -1,0 +1,74 @@
+module type S = sig
+  val name : string
+
+  val solve : ?pool:Parallel.Pool.t -> ?seed:int -> Problem.t -> bool array
+end
+
+type t = (module S)
+
+(* Canonical settings live here, once: [local] keeps cmd_select's historical
+   3 restarts, [anneal]/[cmd]/[exact] their module defaults. *)
+
+module Greedy_s = struct
+  let name = "greedy"
+
+  let solve ?pool:_ ?seed:_ p = Greedy.solve p
+end
+
+module Exact_s = struct
+  let name = "exact"
+
+  let solve ?pool:_ ?seed:_ p = Exact.solve p
+end
+
+module Local_s = struct
+  let name = "local"
+
+  let solve ?pool ?seed p = Local_search.solve ?pool ?seed ~restarts:3 p
+end
+
+module Anneal_s = struct
+  let name = "anneal"
+
+  let solve ?pool ?seed p = Anneal.solve ?pool ?seed p
+end
+
+module Cmd_s = struct
+  let name = "cmd"
+
+  let solve ?pool:_ ?seed:_ p = (Cmd.solve p).Cmd.selection
+end
+
+module All_s = struct
+  let name = "all"
+
+  let solve ?pool:_ ?seed:_ p = Array.make (Problem.num_candidates p) true
+end
+
+let all : t list =
+  [
+    (module Greedy_s);
+    (module Exact_s);
+    (module Local_s);
+    (module Anneal_s);
+    (module Cmd_s);
+    (module All_s);
+  ]
+
+let name (module S : S) = S.name
+
+let names () = List.map name all
+
+let find n =
+  let n = String.lowercase_ascii n in
+  List.find_opt (fun (module S : S) -> String.equal S.name n) all
+
+let objective_best = Telemetry.Gauge.make "solver.objective_best"
+
+let solve (module S : S) ?pool ?seed p =
+  Telemetry.with_span ("solver." ^ S.name) (fun () ->
+      let sel = S.solve ?pool ?seed p in
+      if Telemetry.enabled () then
+        Telemetry.Gauge.set objective_best
+          (Util.Frac.to_float (Objective.value p sel));
+      sel)

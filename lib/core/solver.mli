@@ -1,0 +1,44 @@
+(** The unified selection-solver interface.
+
+    Every solver in the repo answers the same question — given a
+    {!Problem.t}, which candidate subset minimises the Eq. 9 objective? —
+    but historically each exposed its own signature (restarts here, an
+    options record there, a result record for CMD). This module is the one
+    seam: a first-class-module interface with a fixed [solve] shape, a
+    registry keyed by name, and the telemetry hook
+    (a [solver.<name>] span plus the [solver.objective_best] gauge) that
+    instruments all of them at once.
+
+    The per-module entry points ([Greedy.solve], [Exact.solve], …) remain
+    the implementations — the registry wraps them, so existing call sites
+    keep working and registry calls stay bit-identical to direct ones. *)
+
+module type S = sig
+  val name : string
+  (** Registry key, lowercase (["greedy"], ["cmd"], …). *)
+
+  val solve : ?pool:Parallel.Pool.t -> ?seed:int -> Problem.t -> bool array
+  (** Solves under the solver's canonical settings. Deterministic in
+      [(problem, seed)] — never in [pool] (the {!Parallel.Pool} determinism
+      contract); solvers without internal randomness or parallel phases
+      ignore the respective argument. *)
+end
+
+type t = (module S)
+
+val all : t list
+(** Every registered solver, in registry order: greedy, exact, local,
+    anneal, cmd, all. *)
+
+val names : unit -> string list
+
+val find : string -> t option
+(** Case-insensitive lookup by {!S.name}. *)
+
+val name : t -> string
+
+val solve : t -> ?pool:Parallel.Pool.t -> ?seed:int -> Problem.t -> bool array
+(** [solve s ?pool ?seed p] runs the solver inside a [solver.<name>]
+    telemetry span and records the achieved objective on the
+    [solver.objective_best] gauge (when telemetry is enabled; the selection
+    returned is byte-identical either way). *)

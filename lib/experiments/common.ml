@@ -12,6 +12,13 @@ let solver_name = function
   | All_candidates -> "all"
   | Exact_solver -> "exact"
 
+(* the Core.Solver registry name; only the CMD display label differs *)
+let registry_name = function
+  | Cmd_solver -> "cmd"
+  | Greedy_solver -> "greedy"
+  | All_candidates -> "all"
+  | Exact_solver -> "exact"
+
 let problem_of_scenario (s : Ibench.Scenario.t) =
   Core.Problem.make ~source:s.Ibench.Scenario.instance_i
     ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
@@ -25,13 +32,12 @@ type outcome = {
 }
 
 let run_solver solver (s : Ibench.Scenario.t) problem =
-  let solve () =
-    match solver with
-    | Cmd_solver -> (Core.Cmd.solve problem).Core.Cmd.selection
-    | Greedy_solver -> Core.Greedy.solve problem
-    | All_candidates -> Array.make (Core.Problem.num_candidates problem) true
-    | Exact_solver -> Core.Exact.solve problem
+  let impl =
+    match Core.Solver.find (registry_name solver) with
+    | Some impl -> impl
+    | None -> assert false (* every variant is registered *)
   in
+  let solve () = Core.Solver.solve impl problem in
   let selection, runtime_ms = Timer.time_ms solve in
   {
     selection;

@@ -1,5 +1,11 @@
+(* Every runner is wrapped in an [experiment.<id>] span at registration, so
+   both the `find` path (single ids from the CLI) and `run_all` are traced. *)
+let spanned (id, desc, run) =
+  (id, desc, fun () -> Telemetry.with_span ("experiment." ^ id) run)
+
 let all =
-  [
+  List.map spanned
+  @@ [
     ("E1", "appendix worked example: the Eq. 9 objective table",
      E1_appendix_example.run);
     ("E2", "Table I: scenario generation parameters", E2_parameters.run);

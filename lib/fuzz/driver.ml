@@ -38,7 +38,17 @@ let check_case oracles ~seed i =
   in
   (case, outcomes)
 
+(* Campaign counters are bumped in the deterministic fold below — never in
+   the worker tasks — so the totals are a pure function of (seed, budget,
+   oracles), identical for any pool size. *)
+let cases_counter = Telemetry.Counter.make "fuzz.cases"
+
+let checks_counter = Telemetry.Counter.make "fuzz.checks"
+
+let failures_counter = Telemetry.Counter.make "fuzz.failures"
+
 let run ?pool ?(oracles = Oracle.all) ~seed ~budget () =
+  Telemetry.with_span "fuzz.campaign" @@ fun () ->
   let indices = Array.init (max budget 0) Fun.id in
   let reports =
     let task = check_case oracles ~seed in
@@ -75,6 +85,10 @@ let run ?pool ?(oracles = Oracle.all) ~seed ~budget () =
               { oracle = name; detail; original = case; shrunk } :: !failures)
         outcomes)
     reports;
+  Telemetry.Counter.add cases_counter (max budget 0);
+  Telemetry.Counter.add checks_counter
+    (!passed + !skipped + List.length !failures);
+  Telemetry.Counter.add failures_counter (List.length !failures);
   {
     seed;
     budget = max budget 0;

@@ -171,8 +171,18 @@ let sequential_map f xs =
     out
   end
 
+(* Batches and tasks are counted here — before the sequential/pooled split
+   and per logical work item, never per chunk — so the totals are a pure
+   function of the submitted work, identical for every pool size. *)
+let batches_counter = Telemetry.Counter.make "pool.batches"
+
+let tasks_counter = Telemetry.Counter.make "pool.tasks"
+
 let parallel_map ?chunk pool f xs =
+  Telemetry.with_span "pool.batch" @@ fun () ->
   let n = Array.length xs in
+  Telemetry.Counter.incr batches_counter;
+  Telemetry.Counter.add tasks_counter n;
   if n = 0 then [||]
   else if pool.jobs <= 1 || on_worker () then sequential_map f xs
   else begin

@@ -4,7 +4,11 @@
     fanning out many small batches (one per solver restart, per experiment
     seed, per registry entry) costs no domain churn. Work is submitted as
     contiguous index chunks through a [Mutex]/[Condition]-protected queue —
-    no dependencies beyond the OCaml 5 stdlib.
+    no dependencies beyond the OCaml 5 stdlib and the (zero-dependency)
+    [Telemetry] layer, which observes each batch as a [pool.batch] span and
+    counts batches/tasks per logical work item, before the
+    sequential/pooled split — so counter totals never depend on the pool
+    size.
 
     {2 Determinism contract}
 

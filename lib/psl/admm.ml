@@ -100,6 +100,8 @@ let local_solve ~rho f v =
 
 let clip01 v = Float.max 0. (Float.min 1. v)
 
+let admm_iterations_counter = Telemetry.Counter.make "admm.iterations"
+
 let solve ?(options = default_options) model =
   let n = Hlmrf.num_vars model in
   let factors = factors_of_model model in
@@ -172,4 +174,5 @@ let solve ?(options = default_options) model =
        end
      done
    with Exit -> ());
+  Telemetry.Counter.add admm_iterations_counter !iterations;
   { solution = z; iterations = !iterations; converged = !converged; energy = Hlmrf.energy model z }

@@ -141,7 +141,10 @@ let clause_expr db var_index next_var subst (rule : Rule.t) =
   List.iter (fun l -> add_truth ~sign:l.Rule.positive l) rule.Rule.head;
   Linexpr.make !coeffs !constant
 
+let groundings_counter = Telemetry.Counter.make "psl.groundings"
+
 let ground db rules =
+  Telemetry.with_span "psl.ground" @@ fun () ->
   let var_index = ref Gatom.Map.empty in
   let next_var = ref 0 in
   let pendings = ref [] in
@@ -205,6 +208,7 @@ let ground db rules =
            | Some _ ->
              Some { rule_index = p.rule_index; expr = p.expr; squared = p.squared })
   in
+  Telemetry.Counter.add groundings_counter !groundings;
   {
     model;
     atoms;
@@ -219,7 +223,8 @@ let var_of t atom = Gatom.Map.find_opt atom t.index
 let truth_in t solution atom =
   Option.map (fun i -> solution.(i)) (var_of t atom)
 
-let map_inference ?options t = Admm.solve ?options t.model
+let map_inference ?options t =
+  Telemetry.with_span "psl.infer" (fun () -> Admm.solve ?options t.model)
 
 let rule_distances t ~num_rules x =
   let d = Array.make num_rules 0. in

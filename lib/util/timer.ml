@@ -2,7 +2,7 @@
    nanoseconds since an arbitrary origin): immune to NTP slew and
    settimeofday jumps, unlike the wall clock this module used to read. *)
 
-let now_ns = Monotonic_clock.now
+let now_ns () = Monotonic_clock.now ()
 
 let time f =
   let start = now_ns () in

@@ -4,6 +4,11 @@
     bechamel's stub), so measured durations are unaffected by NTP slew or
     wall-clock adjustments mid-measurement. *)
 
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (boot-time) origin on the monotonic
+    clock. The raw reading {!time} is built on; exposed so other layers
+    (e.g. [Telemetry] spans) share the same clock. *)
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
     monotonic time in seconds. *)

@@ -373,6 +373,21 @@ let anneal_tests =
         Alcotest.(check bool)
           "same" true
           (Anneal.solve p = Anneal.solve p));
+    Alcotest.test_case "solve_multi with one chain equals solve" `Quick
+      (fun () ->
+        (* chain 0 keeps the base seed (Seed.derive s 0 = s) *)
+        let p = extended_problem 5 in
+        Alcotest.(check bool)
+          "same" true
+          (Anneal.solve p = Anneal.solve_multi ~chains:1 p));
+    Alcotest.test_case "?seed overrides options.seed" `Quick (fun () ->
+        let p = extended_problem 5 in
+        Alcotest.(check bool)
+          "same" true
+          (Anneal.solve ~seed:7 p
+          = Anneal.solve
+              ~options:{ Anneal.default_options with Anneal.seed = 7 }
+              p));
   ]
 
 let anneal_property_tests =
@@ -383,6 +398,8 @@ let anneal_property_tests =
         let v = Objective.value p (Anneal.solve p) in
         Frac.(Objective.value p (Exact.solve p) <= v)
         && Frac.(v <= Objective.empty_value p));
+    Test.make ~name:"solve_multi with one chain equals solve" ~count:40
+      problem_gen (fun p -> Anneal.solve p = Anneal.solve_multi ~chains:1 p);
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
