@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
+let run_problem ~solver ~jobs ~cache ~weights ~candidates ~source ~j ~truth =
   let solver_impl =
     match Core.Solver.find solver with
     | Some s -> s
@@ -13,7 +13,7 @@ let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
       Cli.die "unknown solver %s (known: %s)" solver
         (String.concat ", " (Core.Solver.names ()))
   in
-  let problem = Core.Problem.make ~weights ~source ~j candidates in
+  let problem = Core.Problem.make ?cache ~weights ~source ~j candidates in
   let fractional = ref None in
   let selection =
     match solver with
@@ -26,8 +26,8 @@ let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
     | _ ->
       if jobs > 1 then
         Parallel.Pool.with_pool ~jobs (fun pool ->
-            Core.Solver.solve solver_impl ~pool problem)
-      else Core.Solver.solve solver_impl problem
+            Core.Solver.solve solver_impl ~pool ?cache problem)
+      else Core.Solver.solve solver_impl ?cache problem
   in
   Format.printf "candidates (%d):@." (List.length candidates);
   List.iteri
@@ -56,9 +56,10 @@ let run_problem ~solver ~jobs ~weights ~candidates ~source ~j ~truth =
     Format.printf "mapping-level vs ground truth: %a@." Metrics.pp
       (Metrics.mapping_level ~candidates ~truth selection)
 
-let run file scenario seed solver jobs trace pi_corresp pi_errors pi_unexplained
-    rows w1 w2 w3 =
+let run file scenario seed solver jobs cache trace pi_corresp pi_errors
+    pi_unexplained rows w1 w2 w3 =
   Cli.install_trace trace;
+  let cache = Cli.resolve_cache cache in
   if Option.is_none (Core.Solver.find solver) then
     Cli.die "unknown solver %s (known: %s)" solver
       (String.concat ", " (Core.Solver.names ()));
@@ -75,7 +76,8 @@ let run file scenario seed solver jobs trace pi_corresp pi_errors pi_unexplained
       Format.printf "scenario %s: %s@." entry.Scenarios.Zoo.name
         entry.Scenarios.Zoo.description;
       let doc = entry.Scenarios.Zoo.doc in
-      run_problem ~solver ~jobs ~weights ~candidates:doc.Serialize.Document.tgds
+      run_problem ~solver ~jobs ~cache ~weights
+        ~candidates:doc.Serialize.Document.tgds
         ~source:doc.Serialize.Document.instance_i
         ~j:doc.Serialize.Document.instance_j
         ~truth:entry.Scenarios.Zoo.ground_truth)
@@ -97,7 +99,7 @@ let run file scenario seed solver jobs trace pi_corresp pi_errors pi_unexplained
             ~corrs:doc.Serialize.Document.correspondences
         | tgds -> tgds
       in
-      run_problem ~solver ~jobs ~weights ~candidates
+      run_problem ~solver ~jobs ~cache ~weights ~candidates
         ~source:doc.Serialize.Document.instance_i
         ~j:doc.Serialize.Document.instance_j ~truth:[])
   | None, None ->
@@ -113,7 +115,8 @@ let run file scenario seed solver jobs trace pi_corresp pi_errors pi_unexplained
     in
     let s = Ibench.Generator.generate config in
     Format.printf "%a@." Ibench.Scenario.pp_summary s;
-    run_problem ~solver ~jobs ~weights ~candidates:s.Ibench.Scenario.candidates
+    run_problem ~solver ~jobs ~cache ~weights
+      ~candidates:s.Ibench.Scenario.candidates
       ~source:s.Ibench.Scenario.instance_i ~j:s.Ibench.Scenario.instance_j
       ~truth:s.Ibench.Scenario.ground_truth
 
@@ -143,7 +146,8 @@ let cmd =
   Cmd.v
     (Cmd.info "cmd_select" ~doc)
     Term.(
-      const run $ file $ scenario $ seed $ solver $ Cli.jobs $ Cli.trace
+      const run $ file $ scenario $ seed $ solver $ Cli.jobs $ Cli.cache
+      $ Cli.trace
       $ pi "pi-corresp" "Percent of target relations with random correspondences."
       $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
       $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."

@@ -76,8 +76,10 @@ let replay_paths oracles paths =
     files;
   if !failed then 1 else 0
 
-let run seed budget oracle_spec fault jobs trace corpus_dir replay list_oracles =
+let run seed budget oracle_spec fault jobs cache trace corpus_dir replay
+    list_oracles =
   Cli.install_trace trace;
+  let cache = Cli.resolve_cache cache in
   if list_oracles then begin
     List.iter
       (fun (o : Fuzz.Oracle.t) ->
@@ -94,7 +96,7 @@ let run seed budget oracle_spec fault jobs trace corpus_dir replay list_oracles 
       let jobs = Cli.resolve_jobs jobs in
       let summary =
         Parallel.Pool.with_pool ~jobs (fun pool ->
-            Fuzz.Driver.run ~pool ~oracles ~seed ~budget ())
+            Fuzz.Driver.run ~pool ?cache ~oracles ~seed ~budget ())
       in
       Format.printf "%a" Fuzz.Driver.pp_summary summary;
       if summary.Fuzz.Driver.failures = [] then 0
@@ -135,7 +137,7 @@ let cmd =
   Cmd.v
     (Cmd.info "fuzz_run" ~doc)
     Term.(
-      const run $ seed $ budget $ oracle $ fault $ Cli.jobs $ Cli.trace
-      $ corpus_dir $ replay $ list_oracles)
+      const run $ seed $ budget $ oracle $ fault $ Cli.jobs $ Cli.cache
+      $ Cli.trace $ corpus_dir $ replay $ list_oracles)
 
 let () = exit (Cmd.eval' cmd)

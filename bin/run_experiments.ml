@@ -14,9 +14,10 @@ let render format table =
   | Markdown -> Experiments.Table.to_markdown table
   | Csv -> Experiments.Table.to_csv table
 
-let run_ids format jobs trace ids =
+let run_ids format jobs cache trace ids =
   Cli.install_trace trace;
   Experiments.Common.set_jobs (Cli.resolve_jobs jobs);
+  Experiments.Common.set_cache (Cli.resolve_cache cache);
   let to_run =
     match ids with
     | [] -> List.map (fun (id, _, run) -> (id, run)) Experiments.Registry.all
@@ -71,6 +72,6 @@ let format =
 let cmd =
   let doc = "Run the reproduction's experiment suite" in
   Cmd.v (Cmd.info "run_experiments" ~doc)
-    Term.(const run_ids $ format $ Cli.jobs $ Cli.trace $ ids)
+    Term.(const run_ids $ format $ Cli.jobs $ Cli.cache $ Cli.trace $ ids)
 
 let () = exit (Cmd.eval cmd)

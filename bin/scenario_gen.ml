@@ -27,7 +27,8 @@ let parse_primitives spec =
       | Ok l, Ok p -> Ok (l @ [ p ]))
     (Ok []) parts
 
-let run primitives seed trace rows pi_corresp pi_errors pi_unexplained output =
+let run primitives seed cache trace rows pi_corresp pi_errors pi_unexplained
+    stats output =
   Cli.install_trace trace;
   let primitives =
     match primitives with
@@ -65,6 +66,24 @@ let run primitives seed trace rows pi_corresp pi_errors pi_unexplained output =
     }
   in
   Format.eprintf "%a@." Ibench.Scenario.pp_summary s;
+  if stats then begin
+    (* chase each candidate (through the evaluation cache, when one is
+       configured) and report what the selection pipeline would see *)
+    let p =
+      Core.Problem.make
+        ?cache:(Cli.resolve_cache cache)
+        ~source:s.Ibench.Scenario.instance_i ~j:s.Ibench.Scenario.instance_j
+        s.Ibench.Scenario.candidates
+    in
+    Format.eprintf "candidate statistics:@.";
+    Array.iter
+      (fun (st : Cover.tgd_stats) ->
+        Format.eprintf "  %-10s covers=%d errors=%d produced=%d size=%d@."
+          st.Cover.tgd.Logic.Tgd.label
+          (List.length (Cover.covered_targets st))
+          (Cover.error_count st) st.Cover.produced st.Cover.size)
+      p.Core.Problem.stats
+  end;
   match output with
   | None -> print_string (Serialize.Document.to_string doc)
   | Some path -> Serialize.Document.save path doc
@@ -79,6 +98,11 @@ let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Source rows per relati
 
 let pi name doc = Arg.(value & opt int 0 & info [ name ] ~doc)
 
+let stats =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Chase each candidate and print its coverage/error statistics \
+               to stderr (uses the evaluation cache when one is configured).")
+
 let output =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Output file; stdout when omitted.")
@@ -88,10 +112,10 @@ let cmd =
   Cmd.v
     (Cmd.info "scenario_gen" ~doc)
     Term.(
-      const run $ primitives $ seed $ Cli.trace $ rows
+      const run $ primitives $ seed $ Cli.cache $ Cli.trace $ rows
       $ pi "pi-corresp" "Percent of target relations with random correspondences."
       $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
       $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."
-      $ output)
+      $ stats $ output)
 
 let () = exit (Cmd.eval cmd)

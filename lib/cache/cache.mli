@@ -1,0 +1,127 @@
+(** Content-addressed memoization of per-candidate evaluation results.
+
+    Every solver run re-derives the same expensive structure for a candidate
+    st tgd: chase the source instance, then fold the triggers into the
+    Eq. 9 [covers]/[errors] statistics ({!Cover.tgd_stats}). Across local
+    search restarts, annealing chains, noise-sweep seeds and fuzz cases the
+    inputs repeat constantly, so the derivation is cached here, keyed by a
+    canonical digest of everything the result depends on — the candidate tgd
+    (exact text: variable names fix the chase's null labels), the source and
+    target instances, and the coverage semantics. Solver selections are
+    cached the same way, keyed by (solver name, seed, problem digest).
+
+    {b Determinism contract} (mirrors the telemetry layer's):
+
+    - {b bit-identity} — a cached result is exactly the value the
+      computation would produce. Chase null invention is deterministic per
+      [(source, tgd)] (a fresh label counter per run), so a
+      {!Cover.tgd_stats} is position-independent except for its [index]
+      field, which the cache strips on store and re-applies on return.
+      Selections are stored and returned as copies so callers can never
+      mutate a cached array.
+    - {b jobs-invariant accounting} — lookups are single-flight: the first
+      requester of a key counts the miss and computes while concurrent
+      requesters wait on it and count hits. Misses therefore equal the
+      number of distinct keys computed and hits the remaining lookups —
+      both pure functions of the workload, identical for any
+      {!Parallel.Pool} size (as long as the working set fits the capacity;
+      an eviction can turn a would-be hit into a recomputed miss).
+
+    The in-memory tier is a bounded LRU over completed entries. The
+    optional disk tier stores one content-addressed file per key
+    ([<digest>.cache], written atomically via a temp file and rename);
+    eviction only drops the in-memory copy, and an unreadable or corrupt
+    file is treated as a miss and rewritten. *)
+
+type t
+
+val create : ?capacity : int -> ?dir : string -> unit -> t
+(** [create ()] is a fresh in-memory cache holding at most [capacity]
+    completed entries (default 16384). [dir] adds the disk tier, creating
+    the directory if needed. Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val capacity : t -> int
+
+val dir : t -> string option
+
+type stats = {
+  hits : int;  (** lookups served without running the computation *)
+  misses : int;  (** lookups that ran the computation *)
+  evictions : int;  (** completed entries dropped by the LRU bound *)
+}
+
+val stats : t -> stats
+(** Per-cache totals; the [cache.hits]/[cache.misses]/[cache.evictions]
+    telemetry counters aggregate the same events across all caches. *)
+
+val of_spec : string -> t option
+(** Maps the [--cache]/[CACHE_DIR] spelling to a cache: [""] is no cache,
+    ["mem"] an in-memory cache, anything else a directory-backed one. *)
+
+val default : unit -> t option
+(** The process-wide cache configured by the [CACHE_DIR] environment
+    variable ({!of_spec} on its value; [None] when unset). Evaluated once,
+    so every call shares one cache. *)
+
+(** Canonical renderings of the engine's values, for key derivation. Each
+    rendering is injective on its type (length-prefixed and
+    percent-encoded where needed), so distinct inputs never share a
+    digest other than by hash collision. *)
+module Key : sig
+  val digest : string list -> string
+  (** Hex digest of a part list; parts are length-prefixed, so the digest
+      is injective in the list (no concatenation ambiguity). *)
+
+  val value : Relational.Value.t -> string
+
+  val tuple : Relational.Tuple.t -> string
+
+  val instance : Relational.Instance.t -> string
+  (** Tuples in the instance's canonical order. *)
+
+  val tgd : Logic.Tgd.t -> string
+  (** The exact rendering, label and variable names included — variable
+      names determine the chase's null labels, so alpha-variants must not
+      share a key. *)
+
+  val frac : Util.Frac.t -> string
+
+  val semantics : Cover.semantics -> string
+end
+
+val data_key :
+  source : Relational.Instance.t -> j : Relational.Instance.t -> string
+(** Digest of a data example, the expensive half of a {!tgd_stats} key.
+    Rendering the instances is linear in the data, so callers looking up
+    many candidates against one [(source, j)] pair compute this once and
+    pass it to every lookup. *)
+
+val tgd_stats :
+  t ->
+  ?semantics : Cover.semantics ->
+  data_key : string ->
+  index : int ->
+  Logic.Tgd.t ->
+  (unit -> Cover.tgd_stats) ->
+  Cover.tgd_stats
+(** [tgd_stats t ~data_key ~index tgd compute] is [compute ()] memoized
+    under the digest of [(semantics, tgd, data_key)], with [data_key] from
+    {!data_key} on the example [compute] evaluates against. The stored
+    value is normalised to candidate position 0 and returned re-indexed at
+    [index], so one cached analysis serves a candidate wherever it appears
+    in a list. [compute] must derive its result from exactly the keyed
+    inputs (chase [source] with [tgd], fold against [j]). *)
+
+val selection :
+  t ->
+  solver : string ->
+  seed : int option ->
+  problem_key : string ->
+  (unit -> bool array) ->
+  bool array
+(** [selection t ~solver ~seed ~problem_key compute] memoizes a solver's
+    selection; [problem_key] must digest the full problem content (see
+    [Core.Problem.digest]). Sound because every registered solver is
+    deterministic in [(problem, seed)]. The returned array is a fresh
+    copy. *)

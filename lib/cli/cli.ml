@@ -28,6 +28,23 @@ let resolve_jobs = function
 let seed ~default ~doc =
   Arg.(value & opt int default & info [ "seed" ] ~doc)
 
+let cache =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed evaluation cache: memoizes per-candidate chase \
+           statistics and solver selections. $(docv) is a directory for the \
+           persistent tier, or $(b,mem) for in-memory only. Default: the \
+           $(b,CACHE_DIR) environment variable (same spellings; empty or \
+           unset disables). Results are bit-identical with and without the \
+           cache.")
+
+let resolve_cache = function
+  | None -> Cache.default ()
+  | Some spec -> Cache.of_spec spec
+
 type trace = {
   trace : bool;
   trace_out : string option;

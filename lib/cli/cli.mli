@@ -32,6 +32,16 @@ val resolve_jobs : int option -> int
 val seed : default:int -> doc:string -> int Cmdliner.Term.t
 (** [--seed N] with the binary's default. *)
 
+val cache : string option Cmdliner.Term.t
+(** [--cache DIR] (or [--cache mem]); [None] when omitted. Resolve with
+    {!resolve_cache}. *)
+
+val resolve_cache : string option -> Cache.t option
+(** The effective evaluation cache: the flag's spelling when given, else
+    the [CACHE_DIR] environment variable ({!Cache.of_spec} either way —
+    [""] disables, ["mem"] is in-memory, anything else directory-backed).
+    Purely an optimisation: results are bit-identical with and without. *)
+
 type trace = {
   trace : bool;  (** [--trace]: human report to stderr at exit *)
   trace_out : string option;  (** [--trace-out FILE]: JSONL stream *)

@@ -67,8 +67,62 @@ let with_weights t weights =
   in
   { t with cand_cost; weights }
 
-let make ?weights ?semantics ~source ~j candidates =
-  of_stats ?weights ~j (Cover.analyze ?semantics ~source ~j candidates)
+let make ?weights ?semantics ?cache ~source ~j candidates =
+  let stats =
+    match cache with
+    | None -> Cover.analyze ?semantics ~source ~j candidates
+    | Some cache ->
+      (* Same per-candidate derivation as [Cover.analyze], each candidate
+         memoized separately: one shared source index, a fresh chase per
+         tgd. The chase restarts its null labels per run, so the cached
+         stats are position-independent and [Cache.tgd_stats] can re-index
+         them for this candidate list. The data digest is computed once
+         and the index lazily — a fully warm build touches neither the
+         chase nor the source data beyond this one rendering. *)
+      let data_key = Cache.data_key ~source ~j in
+      let source_index = lazy (Logic.Cq.Index.build source) in
+      Array.of_list
+        (List.mapi
+           (fun index tgd ->
+             Cache.tgd_stats cache ?semantics ~data_key ~index tgd (fun () ->
+                 let { Chase.triggers; _ } =
+                   Chase.run ~index:(Lazy.force source_index) source [ tgd ]
+                 in
+                 Cover.stats_of_triggers ?semantics ~j ~index tgd triggers))
+           candidates)
+  in
+  of_stats ?weights ~j stats
+
+let digest t =
+  let stat_part (s : Cover.tgd_stats) =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (Cache.Key.tgd s.Cover.tgd);
+    Buffer.add_string buf "|cost ";
+    Buffer.add_string buf (Cache.Key.frac t.cand_cost.(s.Cover.index));
+    Tuple.Map.iter
+      (fun tu d ->
+        Buffer.add_string buf "|cover ";
+        Buffer.add_string buf (Cache.Key.tuple tu);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Cache.Key.frac d))
+      s.Cover.covers;
+    List.iter
+      (fun tu ->
+        Buffer.add_string buf "|error ";
+        Buffer.add_string buf (Cache.Key.tuple tu))
+      s.Cover.error_tuples;
+    Buffer.add_string buf
+      (Printf.sprintf "|produced %d|size %d" s.Cover.produced s.Cover.size);
+    Buffer.contents buf
+  in
+  Cache.Key.digest
+    ([
+       "problem";
+       Printf.sprintf "w %d %d %d" t.weights.w_unexplained t.weights.w_errors
+         t.weights.w_size;
+     ]
+    @ List.map Cache.Key.tuple (Array.to_list t.tuples)
+    @ List.map stat_part (Array.to_list t.stats))
 
 let num_candidates t = Array.length t.candidates
 

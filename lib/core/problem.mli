@@ -32,14 +32,23 @@ type t = {
 val make :
   ?weights : weights ->
   ?semantics : Cover.semantics ->
+  ?cache : Cache.t ->
   source : Relational.Instance.t ->
   j : Relational.Instance.t ->
   Logic.Tgd.t list ->
   t
 (** Builds the problem from a data example and candidate list. [semantics]
     selects the coverage semantics (default the paper's corroborated Eq. 9;
-    the others are ablation variants). Raises [Invalid_argument] on
+    the others are ablation variants). With [cache], each candidate's chase
+    and coverage statistics are memoized content-addressed (bit-identical
+    to the uncached analysis; the cached stats are weight-independent, so
+    any weights share the entries). Raises [Invalid_argument] on
     non-positive weights. *)
+
+val digest : t -> string
+(** A content digest of the full problem (weights, target tuples, per
+    candidate: tgd, cost, coverage degrees, error tuples) — the key under
+    which {!Cache.selection} memoizes solver results. *)
 
 val of_stats :
   ?weights : weights ->

@@ -65,9 +65,18 @@ let find n =
 
 let objective_best = Telemetry.Gauge.make "solver.objective_best"
 
-let solve (module S : S) ?pool ?seed p =
+let solve (module S : S) ?pool ?seed ?cache p =
   Telemetry.with_span ("solver." ^ S.name) (fun () ->
-      let sel = S.solve ?pool ?seed p in
+      let run () = S.solve ?pool ?seed p in
+      let sel =
+        match cache with
+        | None -> run ()
+        | Some cache ->
+          (* Sound because [S.solve] is deterministic in (problem, seed) —
+             the interface contract above — and never in [pool]. *)
+          Cache.selection cache ~solver:S.name ~seed
+            ~problem_key:(Problem.digest p) run
+      in
       if Telemetry.enabled () then
         Telemetry.Gauge.set objective_best
           (Util.Frac.to_float (Objective.value p sel));

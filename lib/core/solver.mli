@@ -37,8 +37,16 @@ val find : string -> t option
 
 val name : t -> string
 
-val solve : t -> ?pool:Parallel.Pool.t -> ?seed:int -> Problem.t -> bool array
+val solve :
+  t ->
+  ?pool:Parallel.Pool.t ->
+  ?seed:int ->
+  ?cache:Cache.t ->
+  Problem.t ->
+  bool array
 (** [solve s ?pool ?seed p] runs the solver inside a [solver.<name>]
     telemetry span and records the achieved objective on the
     [solver.objective_best] gauge (when telemetry is enabled; the selection
-    returned is byte-identical either way). *)
+    returned is byte-identical either way). With [cache], the selection is
+    memoized under [(name, seed, Problem.digest p)] — sound because every
+    registered solver is deterministic in [(problem, seed)]. *)

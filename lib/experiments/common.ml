@@ -19,8 +19,17 @@ let registry_name = function
   | All_candidates -> "all"
   | Exact_solver -> "exact"
 
+(* The suite-wide evaluation cache, [None] by default. A plain atomic slot
+   (not a lazy): `--cache` / [set_cache] runs before the suite, and reads
+   from pool workers must be race-free. *)
+let shared_cache = Atomic.make None
+
+let set_cache c = Atomic.set shared_cache c
+
+let cache () = Atomic.get shared_cache
+
 let problem_of_scenario (s : Ibench.Scenario.t) =
-  Core.Problem.make ~source:s.Ibench.Scenario.instance_i
+  Core.Problem.make ?cache:(cache ()) ~source:s.Ibench.Scenario.instance_i
     ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
 
 type outcome = {
@@ -37,7 +46,7 @@ let run_solver solver (s : Ibench.Scenario.t) problem =
     | Some impl -> impl
     | None -> assert false (* every variant is registered *)
   in
-  let solve () = Core.Solver.solve impl problem in
+  let solve () = Core.Solver.solve impl ?cache:(cache ()) problem in
   let selection, runtime_ms = Timer.time_ms solve in
   {
     selection;

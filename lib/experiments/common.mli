@@ -9,8 +9,17 @@ type solver =
 
 val solver_name : solver -> string
 
+val set_cache : Cache.t option -> unit
+(** CLI override (`--cache`): the evaluation cache {!problem_of_scenario}
+    and {!run_solver} consult. [None] (the default) disables caching. *)
+
+val cache : unit -> Cache.t option
+(** The suite's shared evaluation cache, if any. *)
+
 val problem_of_scenario : Ibench.Scenario.t -> Core.Problem.t
-(** Chases the source instance per candidate and precomputes degrees. *)
+(** Chases the source instance per candidate and precomputes degrees,
+    memoized through {!cache} when one is set. The noise sweeps re-solve
+    near-identical scenarios per seed, so warm runs skip most chases. *)
 
 type outcome = {
   selection : bool array;

@@ -18,8 +18,9 @@ type t = {
   payload : payload;
 }
 
-let problem m =
-  Core.Problem.make ~weights:m.weights ~source:m.source ~j:m.j m.candidates
+let problem ?cache m =
+  Core.Problem.make ?cache ~weights:m.weights ~source:m.source ~j:m.j
+    m.candidates
 
 let num_candidates t =
   match t.payload with

@@ -25,9 +25,11 @@ type t = {
   payload : payload;
 }
 
-val problem : mapping -> Core.Problem.t
+val problem : ?cache : Cache.t -> mapping -> Core.Problem.t
 (** [Problem.make] under the case's weights — the shared precomputation the
-    mapping oracles evaluate against. *)
+    mapping oracles evaluate against. [cache] memoizes the per-candidate
+    analysis (bit-identical on or off — the cache-identity oracle holds the
+    whole campaign to that). *)
 
 val num_candidates : t -> int
 (** Candidate tgds of a mapping case; sets of a SET COVER case. *)

@@ -17,21 +17,24 @@ type summary = {
 
 (* One worker task: generate case [i], run every oracle on it, shrink any
    failure. Pure in [(seed, i, oracles)], per the pool's determinism
-   contract. *)
-let check_case oracles ~seed i =
+   contract — the cache only memoizes bit-identical results, so it leaves
+   the outcomes untouched too. *)
+let check_case ?cache oracles ~seed i =
   let case = Gen.case ~seed:(Parallel.Seed.derive seed i) in
   let outcomes =
     List.map
       (fun (o : Oracle.t) ->
-        match Oracle.run o case with
+        match Oracle.run ?cache o case with
         | Oracle.Pass -> (o.Oracle.name, Oracle.Pass, None)
         | Oracle.Skip -> (o.Oracle.name, Oracle.Skip, None)
         | Oracle.Fail _ as v ->
-          let shrunk = Shrink.shrink ~fails:(Oracle.is_failure o) case in
+          let shrunk = Shrink.shrink ~fails:(Oracle.is_failure ?cache o) case in
           (* Re-run on the shrunk case for the message that matches what
              lands in the corpus. *)
           let v =
-            match Oracle.run o shrunk with Oracle.Fail _ as v' -> v' | _ -> v
+            match Oracle.run ?cache o shrunk with
+            | Oracle.Fail _ as v' -> v'
+            | _ -> v
           in
           (o.Oracle.name, v, Some shrunk))
       oracles
@@ -47,11 +50,11 @@ let checks_counter = Telemetry.Counter.make "fuzz.checks"
 
 let failures_counter = Telemetry.Counter.make "fuzz.failures"
 
-let run ?pool ?(oracles = Oracle.all) ~seed ~budget () =
+let run ?pool ?cache ?(oracles = Oracle.all) ~seed ~budget () =
   Telemetry.with_span "fuzz.campaign" @@ fun () ->
   let indices = Array.init (max budget 0) Fun.id in
   let reports =
-    let task = check_case oracles ~seed in
+    let task = check_case ?cache oracles ~seed in
     match pool with
     | Some pool -> Parallel.Pool.parallel_map pool task indices
     | None -> Array.map task indices

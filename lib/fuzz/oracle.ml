@@ -8,13 +8,13 @@ type ctx = {
   problem : Problem.t option Lazy.t;
 }
 
-let make_ctx case =
+let make_ctx ?cache case =
   {
     case;
     problem =
       lazy
         (match case.Case.payload with
-        | Case.Mapping m -> Some (Case.problem m)
+        | Case.Mapping m -> Some (Case.problem ?cache m)
         | Case.Setcover _ -> None);
   }
 
@@ -386,6 +386,53 @@ let check_chase_determinism ctx =
             in
             (match mismatch with Some msg -> Fail msg | None -> Pass))
 
+(* --- cache-identity: cached evaluation is bit-identical to uncached ----- *)
+
+(* The differential oracle behind the cache's central contract: building a
+   problem through a cache — cold or warm — and solving through a cache must
+   be byte-for-byte what the uncached pipeline produces. Runs against a
+   private cache so the verdict is independent of any campaign-level
+   cache. *)
+let check_cache_identity ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping m -> (
+    let cache = Cache.create ~capacity:1024 () in
+    let p_plain = Option.get (Lazy.force ctx.problem) in
+    let p_cold = Case.problem ~cache m in
+    let after_cold = (Cache.stats cache).Cache.misses in
+    let p_warm = Case.problem ~cache m in
+    let after_warm = (Cache.stats cache).Cache.misses in
+    let key = Problem.digest p_plain in
+    if Problem.digest p_cold <> key then
+      Fail "cold cached problem differs from the uncached problem"
+    else if Problem.digest p_warm <> key then
+      Fail "warm cached problem differs from the uncached problem"
+    else if after_warm <> after_cold then
+      failf "warm rebuild recomputed %d candidate analyses"
+        (after_warm - after_cold)
+    else
+      let solvers =
+        if Problem.num_candidates p_plain <= 6 then [ "greedy"; "local" ]
+        else [ "greedy" ]
+      in
+      let seed = ctx.case.Case.seed land 0xFFFFFF in
+      let mismatch =
+        List.find_map
+          (fun name ->
+            let impl = Option.get (Solver.find name) in
+            let plain = Solver.solve impl ~seed p_plain in
+            let cold = Solver.solve impl ~seed ~cache p_cold in
+            let warm = Solver.solve impl ~seed ~cache p_warm in
+            if plain <> cold then
+              Some (name ^ ": cold cached selection differs")
+            else if plain <> warm then
+              Some (name ^ ": warm cached selection differs")
+            else None)
+          solvers
+      in
+      match mismatch with Some msg -> Fail msg | None -> Pass)
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -420,19 +467,25 @@ let all =
       doc = "chase invariant under permutation, indexing, and self-checks";
       check = check_chase_determinism;
     };
+    {
+      name = "cache-identity";
+      doc = "cached problems and selections are bit-identical to uncached";
+      check = check_cache_identity;
+    };
   ]
 
 let names = List.map (fun o -> o.name) all
 
 let find name = List.find_opt (fun o -> o.name = name) all
 
-let run o case =
-  match o.check (make_ctx case) with
+let run ?cache o case =
+  match o.check (make_ctx ?cache case) with
   | verdict -> verdict
   | exception e ->
     Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
 
-let is_failure o case = match run o case with Fail _ -> true | Pass | Skip -> false
+let is_failure ?cache o case =
+  match run ?cache o case with Fail _ -> true | Pass | Skip -> false
 
 let faults =
   [

@@ -2,7 +2,7 @@
     appendix (and the engine's own contracts) pin down, as named checks over
     fuzz cases.
 
-    The six families:
+    The seven families:
 
     - [eq4-eq9] — on full-tgd scenarios the Eq. 4 bitset fast path
       ({!Core.Full}) and the general Eq. 9 evaluator agree on every probed
@@ -22,7 +22,11 @@
     - [chase-determinism] — the chase is invariant under permutation of the
       source tuples, with and without a prebuilt index, passes
       {!Chase.check_result}, and the objective is invariant under
-      permutation of the candidate list.
+      permutation of the candidate list;
+    - [cache-identity] — building the problem through a private
+      {!Cache.t} (cold and warm) and solving through it yields problems
+      and selections byte-identical to the uncached pipeline, and a warm
+      rebuild recomputes nothing.
 
     Checks are deterministic functions of the case: auxiliary randomness
     (probed selections, flip sequences, permutations) is derived from the
@@ -32,7 +36,9 @@ type ctx
 (** A case plus its lazily shared precomputation ({!Core.Problem.make}
     chases once per candidate; the oracles share one problem per case). *)
 
-val make_ctx : Case.t -> ctx
+val make_ctx : ?cache : Cache.t -> Case.t -> ctx
+(** [cache] is used for the context's shared problem construction — results
+    are identical with or without it. *)
 
 type verdict =
   | Pass
@@ -46,16 +52,17 @@ type t = {
 }
 
 val all : t list
-(** The six families, in the order above. *)
+(** The seven families, in the order above. *)
 
 val names : string list
 
 val find : string -> t option
 
-val run : t -> Case.t -> verdict
-(** [check] on a fresh context, with exceptions converted to [Fail]. *)
+val run : ?cache : Cache.t -> t -> Case.t -> verdict
+(** [check] on a fresh context (built with [cache] when given), with
+    exceptions converted to [Fail]. *)
 
-val is_failure : t -> Case.t -> bool
+val is_failure : ?cache : Cache.t -> t -> Case.t -> bool
 (** The shrinking predicate: does the oracle fail (or raise) on this case? *)
 
 val faults : (string * t) list

@@ -44,16 +44,62 @@ let parse_line line =
   in
   Result.map (fun () -> List.rev !fields) (outside 0)
 
+(* Split a CSV text into records without breaking quoted fields apart. A
+   record ends at a '\n', "\r\n" or lone '\r' that lies outside quotes;
+   inside quotes those bytes are field content (which [escape] emits, and
+   which the line-by-line splitter this replaces could write but never read
+   back). Quote state is tracked by parity: quotes legally occur only as
+   field delimiters or doubled inside a quoted field, and both keep the
+   parity honest — a stray quote elsewhere may join two physical lines, but
+   [parse_line] then rejects the joined record with the right line number.
+   Each record is returned with the 1-based line it starts on. *)
+let split_records text =
+  let n = String.length text in
+  let records = ref [] in
+  let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let start_line = ref 1 in
+  let push () =
+    records := (!start_line, Buffer.contents buf) :: !records;
+    Buffer.clear buf;
+    start_line := !line
+  in
+  let rec go i in_quotes =
+    if i >= n then begin
+      if Buffer.length buf > 0 then push ();
+      List.rev !records
+    end
+    else
+      match text.[i] with
+      | '"' ->
+        Buffer.add_char buf '"';
+        go (i + 1) (not in_quotes)
+      | '\n' when not in_quotes ->
+        incr line;
+        push ();
+        go (i + 1) false
+      | '\r' when not in_quotes ->
+        incr line;
+        push ();
+        if i + 1 < n && text.[i + 1] = '\n' then go (i + 2) false
+        else go (i + 1) false
+      | c ->
+        if c = '\n' then incr line;
+        Buffer.add_char buf c;
+        go (i + 1) in_quotes
+  in
+  go 0 false
+
 let load_relation ~rel ?arity text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.mapi (fun i l -> (i + 1, String.trim l))
-    |> List.filter (fun (_, l) -> l <> "")
+  let records =
+    split_records text
+    |> List.map (fun (ln, r) -> (ln, String.trim r))
+    |> List.filter (fun (_, r) -> r <> "")
   in
   let rec loop acc width = function
     | [] -> Ok (List.rev acc)
-    | (ln, line) :: rest -> (
-      match parse_line line with
+    | (ln, record) :: rest -> (
+      match parse_line record with
       | Error msg -> Error (Printf.sprintf "line %d: %s" ln msg)
       | Ok fields -> (
         let w = List.length fields in
@@ -65,7 +111,7 @@ let load_relation ~rel ?arity text =
         | Some _ | None ->
           loop (Tuple.of_consts rel fields :: acc) (Some w) rest))
   in
-  loop [] arity lines
+  loop [] arity records
 
 let load rels =
   List.fold_left
@@ -79,8 +125,18 @@ let load rels =
     (Ok Instance.empty) rels
 
 let escape field =
+  (* Quoting covers the separators, '\r' (which [String.trim] in the loader
+     would otherwise strip from a record's ends) and boundary whitespace
+     (ditto). The empty string is quoted so a record of empty fields is not
+     mistaken for a blank line. *)
+  let is_ws c = c = ' ' || c = '\t' in
   let needs_quoting =
-    String.exists (function ',' | '"' | '\n' -> true | _ -> false) field
+    field = ""
+    || is_ws field.[0]
+    || is_ws field.[String.length field - 1]
+    || String.exists
+         (function ',' | '"' | '\n' | '\r' -> true | _ -> false)
+         field
   in
   if not needs_quoting then field
   else begin

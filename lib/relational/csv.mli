@@ -1,16 +1,21 @@
 (** Minimal CSV import/export for instances.
 
     Supports the common subset: comma separators, [""]-quoted fields with
-    doubled inner quotes, one record per line. Intended for loading small
-    data examples, not for streaming large files. *)
+    doubled inner quotes, records separated by [\n], [\r\n] or a lone [\r].
+    Quoted fields may contain separators, quotes and record terminators, so
+    everything {!to_csv} emits loads back: [load_relation] assembles records
+    with a quote-aware scan of the whole text rather than splitting on
+    newlines first. Intended for loading small data examples, not for
+    streaming large files. *)
 
 val parse_line : string -> (string list, string) result
-(** One CSV record. *)
+(** One CSV record (no record-terminator handling: a bare [\n] in [line] is
+    field content only if it lies inside quotes). *)
 
 val load_relation : rel : string -> ?arity : int -> string -> (Tuple.t list, string) result
-(** [load_relation ~rel text] parses one tuple per non-empty line. All rows
-    must have the same width (and match [arity] when given); errors carry
-    the offending line number. *)
+(** [load_relation ~rel text] parses one tuple per record, skipping blank
+    records. All rows must have the same width (and match [arity] when
+    given); errors carry the line number the offending record starts on. *)
 
 val load :
   (string * string) list -> (Instance.t, string) result
@@ -18,4 +23,6 @@ val load :
 
 val to_csv : Instance.t -> string -> string
 (** [to_csv inst rel]: the tuples of one relation as CSV (nulls print as
-    [_N<label>]). *)
+    [_N<label>]). Fields containing separators, quotes, CR/LF or boundary
+    whitespace — and empty fields — are quoted so the output re-loads to the
+    same tuples. *)

@@ -3,14 +3,38 @@ type t = {
   den : int;  (* invariant: den > 0, gcd (|num|, den) = 1 *)
 }
 
+exception Overflow
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* gcd of |a| and d, for d > 0. [abs a] itself would wrap at [min_int], so
+   reduce modulo d first: |a mod d| < d is always representable, and every
+   later Euclid step stays non-negative. *)
+let gcd_abs a d = gcd d (abs (a mod d))
+
+(* Overflow-checked native arithmetic. The objective pipeline compares and
+   sums many reduced fractions; a silent wraparound here would corrupt
+   solver decisions without any observable failure, so every product and
+   sum that can exceed the native range either proves it cannot (operands
+   cross-reduced first) or raises [Overflow]. *)
+let mul_exn a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a || (a = min_int && b = -1) then raise Overflow else p
+
+let add_exn a b =
+  let s = a + b in
+  (* overflow flips the sign of same-signed operands *)
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow else s
+
+let neg_exn a = if a = min_int then raise Overflow else -a
 
 let make num den =
   if den = 0 then invalid_arg "Frac.make: zero denominator";
-  let sign = if den < 0 then -1 else 1 in
-  let num = sign * num and den = sign * den in
-  let g = gcd (abs num) den in
-  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+  let num, den = if den < 0 then (neg_exn num, neg_exn den) else (num, den) in
+  let g = gcd_abs num den in
+  { num = num / g; den = den / g }
 
 let zero = { num = 0; den = 1 }
 
@@ -22,17 +46,59 @@ let num t = t.num
 
 let den t = t.den
 
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+(* a/b + c/d with b, d > 0 reduced: let g = gcd b d. The exact sum is
+   (a·(d/g) + c·(b/g)) / ((b/g)·d), and the only further reduction possible
+   is by a divisor of g — so one more gcd against g normalises fully
+   without ever forming b·d. *)
+let add a b =
+  let g = gcd a.den b.den in
+  let bg = a.den / g and dg = b.den / g in
+  let num = add_exn (mul_exn a.num dg) (mul_exn b.num bg) in
+  let g2 = gcd_abs num g in
+  { num = num / g2; den = mul_exn bg (b.den / g2) }
 
-let sub a b = add a { b with num = -b.num }
+let neg a = { a with num = neg_exn a.num }
 
-let mul a b = make (a.num * b.num) (a.den * b.den)
+let sub a b = add a (neg b)
 
-let div a b = if b.num = 0 then raise Division_by_zero else make (a.num * b.den) (a.den * b.num)
+(* a/b · c/d: cross-reduce (gcd of each numerator with the opposite
+   denominator) before multiplying, so the products are as small as the
+   result allows; [Overflow] only when the result itself is unrepresentable. *)
+let mul a b =
+  let g1 = gcd_abs a.num b.den and g2 = gcd_abs b.num a.den in
+  {
+    num = mul_exn (a.num / g1) (b.num / g2);
+    den = mul_exn (a.den / g2) (b.den / g1);
+  }
 
-let neg a = { a with num = -a.num }
+let div a b =
+  if b.num = 0 then raise Division_by_zero
+  else if b.num < 0 then mul a { num = neg_exn b.den; den = neg_exn b.num }
+  else mul a { num = b.den; den = b.num }
 
-let compare a b = Int.compare (a.num * b.den) (b.num * a.den)
+(* Exact comparison without forming cross products: compare integer parts,
+   then recurse on the reciprocals of the remainders (the continued-fraction
+   expansion). Every intermediate stays within the native range, so compare
+   never overflows and never raises. *)
+let compare a b =
+  (* a/b vs c/d with b, d > 0; a, c may be negative. Floor quotient and
+     remainder come from truncating division corrected by the remainder's
+     sign — no products, so no range to exceed (min_int included). *)
+  let floor_div a b = if a mod b < 0 then (a / b) - 1 else a / b in
+  let floor_mod a b = let r = a mod b in if r < 0 then r + b else r in
+  let rec cf a b c d =
+    let q1 = floor_div a b and q2 = floor_div c d in
+    if q1 <> q2 then Int.compare q1 q2
+    else
+      let r1 = floor_mod a b and r2 = floor_mod c d in
+      (* 0 <= r1 < b, 0 <= r2 < d *)
+      if r1 = 0 && r2 = 0 then 0
+      else if r1 = 0 then -1
+      else if r2 = 0 then 1
+      else cf d r2 b r1
+  in
+  if a.den = b.den then Int.compare a.num b.num
+  else cf a.num a.den b.num b.den
 
 let equal a b = compare a b = 0
 

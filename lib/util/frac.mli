@@ -6,9 +6,20 @@
     print values such as [7 1/3] the way the paper's appendix does.
 
     Numerators and denominators stay tiny in this workload, so machine
-    integers suffice; operations normalise eagerly. *)
+    integers suffice; operations normalise eagerly. Arithmetic is exact over
+    the whole native range: {!add}, {!mul} and {!div} cross-reduce by gcd
+    before multiplying (so intermediate products never exceed what the
+    result itself needs) and raise {!Overflow} rather than wrap when the
+    result is unrepresentable; {!compare} runs on the continued-fraction
+    expansion and never overflows at all. *)
 
 type t
+
+exception Overflow
+(** Raised by {!make}, {!add}, {!sub}, {!mul}, {!div}, {!neg} and {!sum}
+    when the normalised result does not fit in native integers (for {!neg},
+    only on the single value with numerator [min_int]). Never raised by
+    {!compare}/{!equal}/{!min}/{!max}, which are total and exact. *)
 
 val zero : t
 

@@ -1,0 +1,288 @@
+(* The evaluation cache: LRU bookkeeping, single-flight accounting, disk
+   persistence, and — the contract everything else leans on — bit-identity
+   of the cached pipeline with the uncached one, per registered solver. *)
+
+open Core
+
+(* --- helpers ------------------------------------------------------------ *)
+
+let appendix_candidates = [ Fixtures.theta1; Fixtures.theta3 ]
+
+let make_problem ?cache () =
+  Problem.make ?cache ~source:Fixtures.instance_i ~j:Fixtures.instance_j
+    appendix_candidates
+
+(* A distinct selection key per index; the compute closure records calls. *)
+let probe cache calls ~key =
+  Cache.selection cache ~solver:"probe" ~seed:None ~problem_key:key (fun () ->
+      incr calls;
+      [| true |])
+
+(* Per-test cache directories under the build sandbox; wiped up front so a
+   previous run's files can't satisfy (or confuse) this run's lookups. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir = Printf.sprintf "cache-test-dir-%d" !n in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+    dir
+
+(* --- accounting and LRU ------------------------------------------------- *)
+
+let test_hit_miss_accounting () =
+  let cache = Cache.create () in
+  let calls = ref 0 in
+  for _ = 1 to 5 do
+    ignore (probe cache calls ~key:"k1")
+  done;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "four hits" 4 s.Cache.hits;
+  Alcotest.(check int) "no evictions" 0 s.Cache.evictions
+
+let test_lru_eviction_order () =
+  let cache = Cache.create ~capacity:2 () in
+  let calls = ref 0 in
+  ignore (probe cache calls ~key:"k1");
+  ignore (probe cache calls ~key:"k2");
+  (* touch k1 so k2 becomes the least recently used *)
+  ignore (probe cache calls ~key:"k1");
+  ignore (probe cache calls ~key:"k3");
+  Alcotest.(check int) "one eviction" 1 (Cache.stats cache).Cache.evictions;
+  let before = !calls in
+  ignore (probe cache calls ~key:"k1");
+  ignore (probe cache calls ~key:"k3");
+  Alcotest.(check int) "k1 and k3 still cached" before !calls;
+  ignore (probe cache calls ~key:"k2");
+  Alcotest.(check int) "k2 was the victim" (before + 1) !calls
+
+let test_single_flight_parallel () =
+  (* 48 lookups of 6 distinct keys hammered from several domains: misses
+     must equal the distinct keys and hits the rest, for any pool size —
+     the jobs-invariance contract. *)
+  let run jobs =
+    let cache = Cache.create () in
+    let calls = Atomic.make 0 in
+    let task i =
+      let key = Printf.sprintf "k%d" (i mod 6) in
+      Cache.selection cache ~solver:"probe" ~seed:None ~problem_key:key
+        (fun () ->
+          Atomic.incr calls;
+          [| i mod 6 = 0 |])
+    in
+    let results =
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          Parallel.Pool.parallel_map pool task (Array.init 48 Fun.id))
+    in
+    Array.iteri
+      (fun i sel ->
+        Alcotest.(check bool)
+          (Printf.sprintf "result %d correct under jobs=%d" i jobs)
+          (i mod 6 = 0) sel.(0))
+      results;
+    (Cache.stats cache, Atomic.get calls)
+  in
+  List.iter
+    (fun jobs ->
+      let s, calls = run jobs in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: misses = distinct keys" jobs)
+        6 s.Cache.misses;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: one computation per distinct key" jobs)
+        6 calls;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: hits = the rest" jobs)
+        42 s.Cache.hits)
+    [ 1; 4 ]
+
+(* --- problem construction through the cache ----------------------------- *)
+
+let test_problem_bit_identity () =
+  let plain = make_problem () in
+  let cache = Cache.create () in
+  let cold = make_problem ~cache () in
+  let warm = make_problem ~cache () in
+  let key = Problem.digest plain in
+  Alcotest.(check string) "cold digest" key (Problem.digest cold);
+  Alcotest.(check string) "warm digest" key (Problem.digest warm);
+  let s = Cache.stats cache in
+  Alcotest.(check int)
+    "one analysis per candidate" (List.length appendix_candidates)
+    s.Cache.misses;
+  Alcotest.(check int)
+    "warm rebuild all hits" (List.length appendix_candidates)
+    s.Cache.hits
+
+let test_reindexing () =
+  (* One cached analysis serves a candidate at any list position. *)
+  let cache = Cache.create () in
+  ignore (make_problem ~cache ());
+  let swapped =
+    Problem.make ~cache ~source:Fixtures.instance_i ~j:Fixtures.instance_j
+      [ Fixtures.theta3; Fixtures.theta1 ]
+  in
+  Alcotest.(check int)
+    "swapped order is all hits" 2 (Cache.stats cache).Cache.misses;
+  Array.iteri
+    (fun i (s : Cover.tgd_stats) ->
+      Alcotest.(check int) (Printf.sprintf "stats %d re-indexed" i) i
+        s.Cover.index)
+    swapped.Problem.stats;
+  Alcotest.(check string) "swapped labels follow the list"
+    Fixtures.theta3.Logic.Tgd.label
+    swapped.Problem.candidates.(0).Logic.Tgd.label
+
+let test_solver_bit_identity () =
+  let plain = make_problem () in
+  let cache = Cache.create () in
+  let cached = make_problem ~cache () in
+  List.iter
+    (fun impl ->
+      let name = Solver.name impl in
+      let expected = Solver.solve impl ~seed:7 plain in
+      let cold = Solver.solve impl ~seed:7 ~cache cached in
+      let warm = Solver.solve impl ~seed:7 ~cache cached in
+      Alcotest.(check (array bool))
+        (name ^ ": cold cached selection bit-identical") expected cold;
+      Alcotest.(check (array bool))
+        (name ^ ": warm cached selection bit-identical") expected warm)
+    Solver.all
+
+let test_cached_selection_is_a_copy () =
+  let cache = Cache.create () in
+  let sel =
+    Cache.selection cache ~solver:"probe" ~seed:None ~problem_key:"k"
+      (fun () -> [| true; false |])
+  in
+  sel.(0) <- false;
+  let again =
+    Cache.selection cache ~solver:"probe" ~seed:None ~problem_key:"k"
+      (fun () -> Alcotest.fail "recomputed despite a warm cache")
+  in
+  Alcotest.(check (array bool)) "mutation did not reach the cache"
+    [| true; false |] again
+
+(* --- disk persistence --------------------------------------------------- *)
+
+let test_disk_reload_stats () =
+  let dir = fresh_dir () in
+  let plain = make_problem () in
+  let cache = Cache.create ~dir () in
+  ignore (make_problem ~cache ());
+  (* a fresh cache over the same directory: no recomputation, same bits *)
+  let reloaded = Cache.create ~dir () in
+  let relit = make_problem ~cache:reloaded () in
+  let s = Cache.stats reloaded in
+  Alcotest.(check int) "all served from disk" 0 s.Cache.misses;
+  Alcotest.(check int)
+    "disk reads count as hits" (List.length appendix_candidates)
+    s.Cache.hits;
+  Alcotest.(check string) "reloaded problem bit-identical"
+    (Problem.digest plain) (Problem.digest relit)
+
+let test_disk_reload_selection () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let calls = ref 0 in
+  let expected = probe cache calls ~key:"pk" in
+  let reloaded = Cache.create ~dir () in
+  let got =
+    Cache.selection reloaded ~solver:"probe" ~seed:None ~problem_key:"pk"
+      (fun () -> Alcotest.fail "recomputed despite the disk tier")
+  in
+  Alcotest.(check (array bool)) "selection reloaded from disk" expected got
+
+let test_disk_corruption_recomputes () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let calls = ref 0 in
+  ignore (probe cache calls ~key:"pk");
+  (* clobber every cache file, then reload: decode fails, computes again *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".cache" then
+        Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+            Out_channel.output_string oc "garbage"))
+    (Sys.readdir dir);
+  let reloaded = Cache.create ~dir () in
+  let got = probe reloaded calls ~key:"pk" in
+  Alcotest.(check int) "recomputed once" 2 !calls;
+  Alcotest.(check (array bool)) "correct result after corruption" [| true |] got;
+  Alcotest.(check int)
+    "corrupt file is a miss" 1 (Cache.stats reloaded).Cache.misses
+
+(* --- experiments plumbing ----------------------------------------------- *)
+
+let test_experiments_cache_identity () =
+  let scenario =
+    Ibench.Generator.generate
+      (Experiments.Common.noise_config ~seed:3 ~pi_corresp:20 ~pi_errors:10
+         ~pi_unexplained:10 ())
+  in
+  Experiments.Common.set_cache None;
+  let plain = Experiments.Common.problem_of_scenario scenario in
+  let out_plain =
+    Experiments.Common.run_solver Experiments.Common.Greedy_solver scenario
+      plain
+  in
+  let cache = Cache.create () in
+  Experiments.Common.set_cache (Some cache);
+  Fun.protect
+    ~finally:(fun () -> Experiments.Common.set_cache None)
+    (fun () ->
+      let cached = Experiments.Common.problem_of_scenario scenario in
+      let out_cached =
+        Experiments.Common.run_solver Experiments.Common.Greedy_solver scenario
+          cached
+      in
+      Alcotest.(check string) "problem identical through Common"
+        (Problem.digest plain) (Problem.digest cached);
+      Alcotest.(check (array bool))
+        "selection identical through Common"
+        out_plain.Experiments.Common.selection
+        out_cached.Experiments.Common.selection;
+      Alcotest.(check bool)
+        "cache was exercised" true
+        ((Cache.stats cache).Cache.misses > 0))
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "misses count computations, hits the rest" `Quick
+            test_hit_miss_accounting;
+          Alcotest.test_case "LRU evicts the least recently used" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "single-flight totals are jobs-invariant" `Quick
+            test_single_flight_parallel;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "cached problem equals uncached" `Quick
+            test_problem_bit_identity;
+          Alcotest.test_case "cached stats re-index per candidate list" `Quick
+            test_reindexing;
+          Alcotest.test_case "every registered solver, cache on/off" `Quick
+            test_solver_bit_identity;
+          Alcotest.test_case "returned selections are private copies" `Quick
+            test_cached_selection_is_a_copy;
+          Alcotest.test_case "Experiments.Common honours the shared cache"
+            `Quick test_experiments_cache_identity;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "candidate stats reload from disk" `Quick
+            test_disk_reload_stats;
+          Alcotest.test_case "selections reload from disk" `Quick
+            test_disk_reload_selection;
+          Alcotest.test_case "corrupt files recompute and self-heal" `Quick
+            test_disk_corruption_recomputes;
+        ] );
+    ]

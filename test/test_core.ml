@@ -705,6 +705,27 @@ let edge_case_tests =
           (Setcover.validate
              { Setcover.universe = [ "a" ]; sets = [ ("S", [ "a" ]) ]; budget = 0 }
           <> Ok ()));
+    Alcotest.test_case "cached construction preserves the appendix table"
+      `Quick (fun () ->
+        (* the appendix objective values, but built through the evaluation
+           cache — cold and warm, against the uncached problem *)
+        let cache = Cache.create () in
+        let build () =
+          Problem.make ~cache ~source:Fixtures.instance_i
+            ~j:Fixtures.instance_j
+            [ Fixtures.theta1; Fixtures.theta3 ]
+        in
+        let plain = appendix_problem () in
+        List.iter
+          (fun p ->
+            Alcotest.(check string)
+              "digest matches uncached" (Problem.digest plain)
+              (Problem.digest p);
+            Alcotest.check frac "{theta1}" (Frac.make 22 3)
+              (Objective.value p (sel p [ 0 ]));
+            Alcotest.check frac "{theta1,theta3}" (Frac.of_int 12)
+              (Objective.value p (sel p [ 0; 1 ])))
+          [ build (); build () ]);
   ]
 
 let () =

@@ -50,7 +50,16 @@ let test_jobs_determinism () =
     (summary_string (run 1));
   Alcotest.(check string)
     "jobs=3 equals no-pool" (summary_string sequential)
-    (summary_string (run 3))
+    (summary_string (run 3));
+  (* the campaign-level evaluation cache changes no verdict either *)
+  let cache = Cache.create () in
+  Alcotest.(check string)
+    "cached campaign equals uncached" (summary_string sequential)
+    (summary_string (Fuzz.Driver.run ~cache ~seed:11 ~budget:120 ()));
+  let stats = Cache.stats cache in
+  Alcotest.(check bool)
+    "cached campaign actually hit the cache" true
+    (stats.Cache.hits > 0 && stats.Cache.misses > 0)
 
 (* --- the oracles are clean on generated cases --------------------------- *)
 
@@ -207,7 +216,7 @@ let () =
         ] );
       ( "oracles",
         [
-          Alcotest.test_case "all six families clean on 200 cases" `Quick
+          Alcotest.test_case "all seven families clean on 200 cases" `Quick
             test_oracles_clean;
         ] );
       ( "fault-injection",

@@ -152,7 +152,100 @@ let frac_tests =
         Alcotest.check frac "sum" (Frac.of_int 1)
           (Frac.sum [ Frac.make 1 3; Frac.make 1 3; Frac.make 1 3 ]);
         Alcotest.(check bool) "lt" true Frac.(make 1 3 < make 1 2));
+    Alcotest.test_case "near-max_int comparisons are exact" `Quick (fun () ->
+        (* 3037000500² exceeds max_int, so naive cross-multiplication wraps
+           and used to order these two the wrong way round. *)
+        let a = Frac.make 3037000499 3037000500 in
+        let b = Frac.make 3037000500 3037000501 in
+        Alcotest.(check bool) "1 - 1/n < 1 - 1/(n+1)" true Frac.(a < b);
+        Alcotest.(check bool) "antisymmetric" true (Frac.compare b a > 0);
+        Alcotest.(check int) "reflexive" 0 (Frac.compare a a);
+        Alcotest.(check bool)
+          "min_int numerator orders" true
+          Frac.(make min_int 1 < make (min_int + 1) 1);
+        Alcotest.(check int)
+          "min_int over odd denominator is total" 0
+          (Frac.compare (Frac.make min_int 3) (Frac.make min_int 3));
+        Alcotest.(check bool)
+          "sign dominates magnitude" true
+          Frac.(make min_int max_int < make 1 max_int);
+        (* regression: [gcd (abs min_int) den] used to go negative and flip
+           the denominator sign, breaking the den > 0 invariant *)
+        Alcotest.(check bool)
+          "min_int numerator keeps a positive denominator" true
+          (Frac.den (Frac.make min_int max_int) > 0);
+        Alcotest.check frac "min_int still reduces by shared factors"
+          (Frac.make (min_int / 4) 1)
+          (Frac.make min_int 4));
+    Alcotest.test_case "negation at min_int raises, never wraps" `Quick
+      (fun () ->
+        let m = Frac.make min_int 1 in
+        Alcotest.check_raises "neg" Frac.Overflow (fun () ->
+            ignore (Frac.neg m));
+        Alcotest.check_raises "sub" Frac.Overflow (fun () ->
+            ignore (Frac.sub Frac.zero m));
+        Alcotest.check_raises "div reciprocal" Frac.Overflow (fun () ->
+            ignore (Frac.div Frac.one m)));
+    Alcotest.test_case "unrepresentable results raise Overflow" `Quick
+      (fun () ->
+        Alcotest.check_raises "lcm of coprime huge denominators" Frac.Overflow
+          (fun () ->
+            ignore (Frac.add (Frac.make 1 max_int) (Frac.make 1 (max_int - 1))));
+        Alcotest.check_raises "product of huge numerators" Frac.Overflow
+          (fun () ->
+            ignore (Frac.mul (Frac.make max_int 1) (Frac.make max_int 1)));
+        (* cross-reduction means a representable result never raises, even
+           when the naive intermediate product would wrap *)
+        Alcotest.check frac "cross-reduced product is exact" Frac.one
+          (Frac.mul (Frac.make max_int 3) (Frac.make 3 max_int));
+        Alcotest.check frac "cross-reduced sum is exact"
+          (Frac.make 2 max_int)
+          (Frac.add (Frac.make 1 max_int) (Frac.make 1 max_int)))
   ]
+
+let frac_qcheck_tests =
+  let open QCheck2 in
+  let open Util in
+  let near_max = Gen.map (fun k -> max_int - k) (Gen.int_bound 1000) in
+  let big_frac =
+    Gen.map2
+      (fun n d -> Frac.make n d)
+      (Gen.oneof [ near_max; Gen.map Int.neg near_max ])
+      near_max
+  in
+  let small_frac =
+    Gen.map2
+      (fun n d -> Frac.make n (d + 1))
+      (Gen.int_range (-64) 64) (Gen.int_bound 63)
+  in
+  [
+    Test.make ~name:"compare is antisymmetric near max_int" ~count:500
+      (Gen.pair big_frac big_frac) (fun (a, b) ->
+        Int.compare (Frac.compare a b) 0
+        = - Int.compare (Frac.compare b a) 0);
+    Test.make ~name:"compare agrees with equal near max_int" ~count:500
+      (Gen.pair big_frac big_frac) (fun (a, b) ->
+        Frac.equal a b = (Frac.compare a b = 0));
+    Test.make ~name:"compare agrees with subtraction when it fits" ~count:500
+      (Gen.pair small_frac small_frac) (fun (a, b) ->
+        Int.compare (Frac.compare a b) 0
+        = Int.compare (Frac.num (Frac.sub a b)) 0);
+    Test.make ~name:"add associates" ~count:500
+      (Gen.triple small_frac small_frac small_frac) (fun (a, b, c) ->
+        Frac.equal (Frac.add (Frac.add a b) c) (Frac.add a (Frac.add b c)));
+    Test.make ~name:"add commutes near max_int or overflows both ways"
+      ~count:500 (Gen.pair big_frac big_frac) (fun (a, b) ->
+        let try_add x y =
+          match Frac.add x y with
+          | v -> Some v
+          | exception Frac.Overflow -> None
+        in
+        match (try_add a b, try_add b a) with
+        | Some x, Some y -> Frac.equal x y
+        | None, None -> true
+        | _ -> false);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
 
 let csv_tests =
   let open Relational in
@@ -206,7 +299,94 @@ let csv_tests =
           Alcotest.(check bool)
             "same instance" true
             (Instance.equal inst (Instance.of_tuples tuples)));
+    Alcotest.test_case "embedded record separators round-trip" `Quick
+      (fun () ->
+        (* quoted newlines are written by to_csv; the loader must scan
+           quote-aware rather than split on '\n' first *)
+        let inst =
+          Instance.of_tuples
+            [
+              Tuple.of_consts "r" [ "line1\nline2"; "b" ];
+              Tuple.of_consts "r" [ "cr\rhere"; "crlf\r\nthere" ];
+              Tuple.of_consts "r" [ "\n"; "\"\n\"" ];
+            ]
+        in
+        match Csv.load_relation ~rel:"r" (Csv.to_csv inst "r") with
+        | Error e -> Alcotest.fail e
+        | Ok tuples ->
+          Alcotest.(check bool)
+            "same instance" true
+            (Instance.equal inst (Instance.of_tuples tuples)));
+    Alcotest.test_case "empty and whitespace fields round-trip" `Quick
+      (fun () ->
+        let inst =
+          Instance.of_tuples
+            [
+              Tuple.of_consts "r" [ ""; "" ];
+              Tuple.of_consts "r" [ " leading"; "trailing\t" ];
+              Tuple.of_consts "r" [ "\t"; "mid dle" ];
+            ]
+        in
+        match Csv.load_relation ~rel:"r" (Csv.to_csv inst "r") with
+        | Error e -> Alcotest.fail e
+        | Ok tuples ->
+          Alcotest.(check bool)
+            "same instance" true
+            (Instance.equal inst (Instance.of_tuples tuples)));
+    Alcotest.test_case "bare CR and CRLF are record separators" `Quick
+      (fun () ->
+        match Csv.load_relation ~rel:"r" "a,b\rc,d\r\ne,f" with
+        | Error e -> Alcotest.fail e
+        | Ok tuples ->
+          Alcotest.(check int) "three records" 3 (List.length tuples);
+          Alcotest.(check bool)
+            "middle record" true
+            (List.mem (Tuple.of_consts "r" [ "c"; "d" ]) tuples));
+    Alcotest.test_case "width errors report the record's line" `Quick
+      (fun () ->
+        match Csv.load_relation ~rel:"r" "a,b\n\"x\ny\",z,extra\n" with
+        | Ok _ -> Alcotest.fail "ragged record accepted"
+        | Error msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec at i =
+              i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+            in
+            at 0
+          in
+          Alcotest.(check bool)
+            ("line number in: " ^ msg)
+            true (contains msg "line 2"));
   ]
+
+let csv_qcheck_tests =
+  let open QCheck2 in
+  let adversarial_value =
+    Gen.string_size
+      ~gen:(Gen.oneofl [ 'a'; 'b'; ','; '"'; '\n'; '\r'; ' '; '\t' ])
+      (Gen.int_bound 6)
+  in
+  let instance_gen =
+    Gen.bind (Gen.int_range 1 3) (fun arity ->
+        Gen.map
+          (fun rows ->
+            Instance.of_tuples (List.map (Relational.Tuple.of_consts "r") rows))
+          (Gen.list_size (Gen.int_range 1 6)
+             (Gen.list_repeat arity adversarial_value)))
+  in
+  [
+    Test.make ~name:"load_relation (to_csv inst) = inst, adversarial values"
+      ~count:300 instance_gen (fun inst ->
+        match Csv.load_relation ~rel:"r" (Csv.to_csv inst "r") with
+        | Error _ -> false
+        | Ok tuples -> Instance.equal inst (Instance.of_tuples tuples));
+    Test.make ~name:"load (to_csv inst) = inst through the instance loader"
+      ~count:150 instance_gen (fun inst ->
+        match Csv.load [ ("r", Csv.to_csv inst "r") ] with
+        | Error _ -> false
+        | Ok loaded -> Instance.equal inst loaded);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
 
 let bitset_tests =
   let open Util in
@@ -293,7 +473,9 @@ let () =
       ("instance", instance_tests);
       ("instance-properties", qcheck_tests);
       ("frac", frac_tests);
+      ("frac-properties", frac_qcheck_tests);
       ("csv", csv_tests);
+      ("csv-properties", csv_qcheck_tests);
       ("bitset", bitset_tests);
       ("stats", stats_tests);
     ]
