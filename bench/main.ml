@@ -2,12 +2,24 @@
 
    Part 1 regenerates every table and figure of the reproduction (E1..E14) by
    running the experiment registry — these are the rows/series the paper
-   reports. Part 2 runs one Bechamel micro-benchmark per experiment,
-   measuring the computational kernel that dominates it, plus the substrate
-   kernels (conjunctive queries, chase, grounding, ADMM). *)
+   reports (skippable with --skip-experiments). Part 2 runs one Bechamel
+   micro-benchmark per experiment, measuring the computational kernel that
+   dominates it, plus the substrate kernels (conjunctive queries, chase,
+   grounding, ADMM), followed by the sequential-vs-pool, cache cold/warm and
+   telemetry-overhead sections.
+
+   With --json PATH the harness additionally serialises every measurement as
+   a Perf.Report (the BENCH_<n>.json trajectory format) so CI can gate fresh
+   numbers against the committed baseline via bench_gate. *)
 
 open Bechamel
 open Toolkit
+
+(* timestamps for the JSON report: ms on the monotonic clock since startup,
+   stamped as each section completes (Report.validate checks monotonicity) *)
+let t_start = Util.Timer.now_ns ()
+
+let at_ms () = Int64.to_float (Int64.sub (Util.Timer.now_ns ()) t_start) /. 1e6
 
 (* --- fixtures shared by the micro-benchmarks --------------------------- *)
 
@@ -342,13 +354,25 @@ let parallel_speedup () =
   Format.printf "=====================================================@.";
   Format.printf "recommended_domain_count = %d (a >=2x speedup needs >=4 cores)@."
     (Domain.recommended_domain_count ());
+  let entries = ref [] in
   let measure name seq par check_equal =
     ignore (seq ());
     ignore (par ());
     let s, seq_ms = Util.Timer.time_ms seq in
     let p, par_ms = Util.Timer.time_ms par in
+    let identical = check_equal s p in
     Format.printf "%-35s seq %8.1f ms   par(4) %8.1f ms   speedup %5.2fx   identical %b@."
-      name seq_ms par_ms (seq_ms /. par_ms) (check_equal s p)
+      name seq_ms par_ms (seq_ms /. par_ms) identical;
+    entries :=
+      {
+        Perf.Report.p_name = name;
+        seq_ms;
+        par_ms;
+        speedup = seq_ms /. par_ms;
+        identical;
+        p_at_ms = at_ms ();
+      }
+      :: !entries
   in
   Parallel.Pool.with_pool ~jobs:4 (fun pool ->
       let p = Lazy.force big_problem in
@@ -369,7 +393,8 @@ let parallel_speedup () =
     (fun () -> sweep 1)
     (fun () -> sweep 4)
     (fun a b -> Experiments.Table.to_string a = Experiments.Table.to_string b);
-  Experiments.Common.set_jobs 1
+  Experiments.Common.set_jobs 1;
+  List.rev !entries
 
 (* Warm-vs-cold evaluation cache on the E6-scale scenario: the speedup is
    measured, not asserted, and the bit-identity contract is checked via
@@ -411,7 +436,22 @@ let cache_speedup () =
     (uncached_ms /. warm_ms) identical;
   let stats = Cache.stats cache in
   Format.printf "cache.hits %d   cache.misses %d   cache.evictions %d@."
-    stats.Cache.hits stats.Cache.misses stats.Cache.evictions
+    stats.Cache.hits stats.Cache.misses stats.Cache.evictions;
+  let lookups = stats.Cache.hits + stats.Cache.misses in
+  {
+    Perf.Report.uncached_ms;
+    cold_ms;
+    warm_ms;
+    warm_speedup = uncached_ms /. warm_ms;
+    hits = stats.Cache.hits;
+    misses = stats.Cache.misses;
+    evictions = stats.Cache.evictions;
+    hit_rate =
+      (if lookups = 0 then 0.
+       else float_of_int stats.Cache.hits /. float_of_int lookups);
+    bit_identical = identical;
+    c_at_ms = at_ms ();
+  }
 
 (* The telemetry layer's cost contract, measured: a disabled sink must be
    ≈ zero cost on the hot flip kernel (the budget is ~2% — one atomic load
@@ -462,13 +502,78 @@ let telemetry_overhead () =
      flip probe@."
     per_probe_ns disabled_pct per_flip_ns;
   Format.printf "telemetry disabled-sink budget (< 2%% of flip kernel): %s@."
-    (if disabled_pct < 2.0 then "OK" else "EXCEEDED")
+    (if disabled_pct < 2.0 then "OK" else "EXCEEDED");
+  {
+    Perf.Report.disabled_ms = off;
+    enabled_ms = on;
+    overhead_pct = 100. *. (on -. off) /. off;
+    within_budget = disabled_pct < 2.0;
+    t_at_ms = at_ms ();
+  }
+
+(* The derived bigger-is-better numbers the CI gate tracks: kernel-pair
+   speedups from the OLS estimates plus the cache and pool speedups. A pair
+   whose estimates are missing is dropped (the gate reports it as a missing
+   ratio rather than comparing garbage). *)
+let derive_ratios rows pool cache =
+  let ns key =
+    match
+      List.find_opt
+        (fun (n, _) -> n = key || String.ends_with ~suffix:("/" ^ key) n)
+        rows
+    with
+    | Some (_, est) when Float.is_finite est && est > 0. -> Some est
+    | Some _ | None -> None
+  in
+  let ratio name a b =
+    match (ns a, ns b) with
+    | Some x, Some y -> [ { Perf.Report.r_name = name; value = x /. y } ]
+    | _ -> []
+  in
+  ratio "flip-naive-over-incremental" "flip-naive-big" "flip-incremental-big"
+  @ ratio "local-search-naive-over-incremental" "solver-local-search-naive-big"
+      "solver-local-search-incr-big"
+  @ ratio "cq-plain-over-indexed" "substrate-cq-plain" "substrate-cq-indexed"
+  @ ratio "cache-build-cold-over-warm" "cache-problem-build-cold"
+      "cache-problem-build-warm"
+  @ [
+      {
+        Perf.Report.r_name = "cache-warm-speedup";
+        value = cache.Perf.Report.warm_speedup;
+      };
+    ]
+  @ List.map
+      (fun (p : Perf.Report.pool_compare) ->
+        { Perf.Report.r_name = "pool-speedup-" ^ p.p_name; value = p.speedup })
+      pool
+
+let usage () =
+  prerr_endline "usage: main.exe [--skip-experiments] [--json PATH]";
+  exit 2
 
 let () =
-  Format.printf "=====================================================@.";
-  Format.printf " Reproduction: every table and figure (E1..E14)@.";
-  Format.printf "=====================================================@.@.";
-  Experiments.Registry.run_all Format.std_formatter;
+  let json_path = ref None in
+  let skip_experiments = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--skip-experiments" :: rest ->
+      skip_experiments := true;
+      parse_args rest
+    | [ "--json" ] -> usage ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse_args rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument '%s'\n" arg;
+      usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if not !skip_experiments then begin
+    Format.printf "=====================================================@.";
+    Format.printf " Reproduction: every table and figure (E1..E14)@.";
+    Format.printf "=====================================================@.@.";
+    Experiments.Registry.run_all Format.std_formatter
+  end;
   Format.printf "=====================================================@.";
   Format.printf " Micro-benchmarks (Bechamel, monotonic clock, OLS)@.";
   Format.printf "=====================================================@.";
@@ -488,6 +593,33 @@ let () =
   List.iter
     (fun (name, est) -> Format.printf "%-35s %a / run@." name pp_time est)
     rows;
-  parallel_speedup ();
-  cache_speedup ();
-  telemetry_overhead ()
+  let kernels_at = at_ms () in
+  let pool = parallel_speedup () in
+  let cache = cache_speedup () in
+  let telemetry = telemetry_overhead () in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let kernels =
+      List.filter_map
+        (fun (name, est) ->
+          if Float.is_finite est && est >= 0. then
+            Some
+              { Perf.Report.k_name = name; ns_per_run = est; k_at_ms = kernels_at }
+          else None)
+        rows
+    in
+    let report =
+      {
+        Perf.Report.schema_version = 1;
+        bench = 6;
+        jobs = 4;
+        kernels;
+        ratios = derive_ratios rows pool cache;
+        pool;
+        cache;
+        telemetry;
+      }
+    in
+    Perf.Report.save path report;
+    Format.printf "@.wrote %s@." path

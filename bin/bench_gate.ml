@@ -1,0 +1,57 @@
+(* The perf regression gate: diff a fresh BENCH_<n>.json against the
+   committed baseline with a multiplicative tolerance band.
+
+   Exit status: 0 within bands, 1 on a regression (every violation listed
+   on stdout), 2 on usage errors or unreadable/invalid reports. *)
+
+open Cmdliner
+
+let run baseline fresh band =
+  if band < 1. then Cli.die "--band must be >= 1 (got %g)" band;
+  let read what path =
+    match Perf.Report.load path with
+    | Ok r -> r
+    | Error msg -> Cli.die "%s report: %s" what msg
+  in
+  let baseline = read "baseline" baseline in
+  let fresh = read "fresh" fresh in
+  match Perf.Report.gate ~band ~baseline ~fresh () with
+  | [] ->
+    Printf.printf "bench gate: OK (%d ratios, %d kernels within band %.1f)\n"
+      (List.length baseline.Perf.Report.ratios)
+      (List.length baseline.Perf.Report.kernels)
+      band;
+    0
+  | violations ->
+    List.iter (Printf.printf "REGRESSION %s\n") violations;
+    Printf.printf "bench gate: %d violation(s)\n" (List.length violations);
+    1
+
+let baseline =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"The committed baseline BENCH_<n>.json.")
+
+let fresh =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "fresh" ] ~docv:"FILE" ~doc:"A freshly generated report.")
+
+let band =
+  Arg.(
+    value & opt float 3.0
+    & info [ "band" ] ~docv:"FACTOR"
+        ~doc:
+          "Multiplicative tolerance: ratios may drop to baseline/$(docv), \
+           kernel timings may grow to baseline*$(docv).")
+
+let cmd =
+  let doc = "Gate a fresh bench report against the committed baseline" in
+  Cmd.v
+    (Cmd.info "bench_gate" ~doc)
+    Term.(const run $ baseline $ fresh $ band)
+
+let () = exit (Cmd.eval' cmd)

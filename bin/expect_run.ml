@@ -1,0 +1,74 @@
+(* Declarative expectation suites (.rtest) compiled onto the solver
+   registry.
+
+   The report is a pure function of the suite — never of --jobs (tests fan
+   out over a Parallel.Pool with results reassembled in file order, and
+   counter tests run in a sequential phase) — so CI diffs parallel runs
+   against sequential ones byte for byte. Exit status: 0 when every test
+   meets its expectations (xfail / still-broken / skip are expected), 1 on
+   failures, 2 on usage or malformed-suite errors. *)
+
+open Cmdliner
+
+let run dir filter jobs promote trace =
+  Cli.install_trace trace;
+  let jobs = Cli.resolve_jobs jobs in
+  match Expect.Runner.load_dir dir with
+  | Error msg -> Cli.die "%s" msg
+  | Ok [] -> Cli.die "%s: no .rtest files" dir
+  | Ok suites ->
+    let report = Expect.Runner.run ~jobs ?filter suites in
+    print_string (Expect.Runner.render report);
+    if not promote then Expect.Runner.exit_code report
+    else begin
+      let rewrites = Expect.Runner.promote suites report in
+      List.iter
+        (fun (path, text) ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc text);
+          Printf.printf "promoted %s\n" path)
+        rewrites;
+      (* value mismatches were just promoted; anything else still fails *)
+      let leftover =
+        List.exists
+          (fun (_, results) ->
+            List.exists
+              (fun (r : Expect.Runner.result) ->
+                match r.Expect.Runner.outcome with
+                | Expect.Runner.Fail _ -> not (Expect.Runner.promotable r)
+                | _ -> false)
+              results)
+          report.Expect.Runner.files
+      in
+      if leftover then 1 else 0
+    end
+
+let dir =
+  Arg.(
+    value & opt string "expect"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Directory of .rtest suite files.")
+
+let filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "filter" ] ~docv:"SUBSTRING"
+        ~doc:"Run only tests whose name contains $(docv).")
+
+let promote =
+  Arg.(
+    value & flag
+    & info [ "promote" ]
+        ~doc:
+          "Rewrite suite files in place, replacing mismatched expectation \
+           values with the observed ones (only for unflagged tests whose \
+           every listed solver agrees). On a clean suite this writes \
+           nothing.")
+
+let cmd =
+  let doc = "Run declarative expectation suites against the solver registry" in
+  Cmd.v
+    (Cmd.info "expect_run" ~doc)
+    Term.(const run $ dir $ filter $ Cli.jobs $ promote $ Cli.trace)
+
+let () = exit (Cmd.eval' cmd)

@@ -45,12 +45,16 @@ let inject fault oracles =
         oracles)
 
 let replay_paths oracles paths =
+  (* a dangling reference is a usage error (exit 2), distinct from oracle
+     failures (exit 1) *)
+  (match List.filter (fun p -> not (Sys.file_exists p)) paths with
+  | [] -> ()
+  | missing ->
+    die "no such corpus file or directory: %s" (String.concat ", " missing));
   let files =
     List.concat_map
       (fun path ->
-        if not (Sys.file_exists path) then
-          [ (path, Error (path ^ ": no such file or directory")) ]
-        else if Sys.is_directory path then
+        if Sys.file_exists path && Sys.is_directory path then
           match Fuzz.Corpus.load_dir path with
           | Ok entries -> List.map (fun e -> (path, Ok e)) entries
           | Error msg -> [ (path, Error msg) ]
@@ -90,7 +94,9 @@ let run seed budget oracle_spec fault jobs cache trace corpus_dir replay
   else
     let oracles = inject fault (resolve_oracles oracle_spec) in
     match replay with
-    | _ :: _ -> replay_paths oracles replay
+    | _ :: _ -> (
+      try replay_paths oracles replay
+      with Sys_error msg -> die "%s" msg)
     | [] ->
       if budget < 0 then die "--budget must be nonnegative";
       let jobs = Cli.resolve_jobs jobs in

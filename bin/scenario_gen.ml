@@ -29,6 +29,7 @@ let parse_primitives spec =
 
 let run primitives seed cache trace rows pi_corresp pi_errors pi_unexplained
     stats output =
+ try
   Cli.install_trace trace;
   let primitives =
     match primitives with
@@ -87,6 +88,9 @@ let run primitives seed cache trace rows pi_corresp pi_errors pi_unexplained
   match output with
   | None -> print_string (Serialize.Document.to_string doc)
   | Some path -> Serialize.Document.save path doc
+ with Sys_error msg ->
+  (* a dangling --cache or --output reference is a usage error, not a crash *)
+  Cli.die "scenario_gen: %s" msg
 
 let primitives =
   Arg.(value & opt (some string) None & info [ "p"; "primitives" ]

@@ -207,9 +207,12 @@ let read_file path =
   s
 
 let load path =
-  match of_string (read_file path) with
-  | Ok e -> Ok e
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match of_string text with
+    | Ok e -> Ok e
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 let load_dir dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then Ok []

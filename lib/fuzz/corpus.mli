@@ -45,7 +45,8 @@ val save : dir : string -> entry -> string
     needed) and returns the path written. *)
 
 val load : string -> (entry, string) result
-(** Reads one corpus file. The error string includes the path. *)
+(** Reads one corpus file. The error string includes the path; an
+    unreadable or missing file is an [Error], never a [Sys_error]. *)
 
 val load_dir : string -> (entry list, string) result
 (** Loads every [*.scn] file of a directory in lexicographic filename

@@ -1,0 +1,49 @@
+(** A minimal JSON value type with a printer and parser.
+
+    The repo's machine-readable artifacts (the [BENCH_<n>.json] perf
+    trajectory, its CI regression gate) need JSON both ways, and the
+    container policy forbids new dependencies — so this is the smallest
+    self-contained implementation that round-trips what we emit. It is not
+    a general interchange codec: numbers are OCaml floats (53-bit integer
+    precision), [\uXXXX] escapes outside the basic plane and surrogate
+    pairs are rejected, and object key order is preserved verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Raises [Invalid_argument] on a non-finite {!Num}
+    (JSON has no representation for [nan]/[inf]; guard before emitting). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering, for committed artifacts that humans
+    diff. Same [Invalid_argument] behaviour as {!to_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error). Error strings include a character offset. *)
+
+val load : string -> (t, string) result
+(** Reads and parses a file; the error string includes the path (a missing
+    or unreadable file is an [Error], never an exception). *)
+
+(** {2 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj} ([None] on missing field or non-object). *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** {!Num} with an integral value in native-int range. *)
+
+val to_bool : t -> bool option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

@@ -1,0 +1,198 @@
+(* The machine-readable perf trajectory (lib/perf).
+
+   Schema-validates the committed BENCH_6.json (required keys, monotone
+   timestamps, finite positive ratios), pins the JSON round trip, and
+   demonstrates that the regression gate flags an injected slowdown. *)
+
+module Report = Perf.Report
+
+let syn : Report.t =
+  {
+    Report.schema_version = 1;
+    bench = 6;
+    jobs = 4;
+    kernels = [ { Report.k_name = "flip"; ns_per_run = 100.; k_at_ms = 1. } ];
+    ratios = [ { Report.r_name = "flip-speedup"; value = 2. } ];
+    pool =
+      [
+        {
+          Report.p_name = "local-search";
+          seq_ms = 10.;
+          par_ms = 5.;
+          speedup = 2.;
+          identical = true;
+          p_at_ms = 2.;
+        };
+      ];
+    cache =
+      {
+        Report.uncached_ms = 5.;
+        cold_ms = 6.;
+        warm_ms = 1.;
+        warm_speedup = 5.;
+        hits = 2;
+        misses = 4;
+        evictions = 0;
+        hit_rate = 0.25;
+        bit_identical = true;
+        c_at_ms = 3.;
+      };
+    telemetry =
+      {
+        Report.disabled_ms = 1.;
+        enabled_ms = 1.1;
+        overhead_pct = 10.;
+        within_budget = false;
+        t_at_ms = 4.;
+      };
+  }
+
+let test_roundtrip () =
+  match Report.of_json (Report.to_json syn) with
+  | Ok r ->
+    Alcotest.(check bool) "round-trips exactly" true (r = syn)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_validate_clean () =
+  Alcotest.(check (list string)) "no issues" [] (Report.validate syn)
+
+let test_validate_catches_splicing () =
+  (* timestamps out of order mean the file is not from one run *)
+  let bad =
+    { syn with Report.telemetry = { syn.Report.telemetry with t_at_ms = 0.5 } }
+  in
+  Alcotest.(check bool) "non-monotone at_ms flagged" true
+    (Report.validate bad <> [])
+
+let test_validate_catches_bad_ratio () =
+  let bad = { syn with Report.ratios = [ { r_name = "r"; value = 0. } ] } in
+  Alcotest.(check bool) "non-positive ratio flagged" true
+    (Report.validate bad <> [])
+
+let test_gate_accepts_itself () =
+  Alcotest.(check (list string))
+    "self-gate is clean" []
+    (Report.gate ~baseline:syn ~fresh:syn ())
+
+let test_gate_band_edges () =
+  (* exactly baseline/band is still within the band *)
+  let fresh =
+    { syn with Report.ratios = [ { r_name = "flip-speedup"; value = 2. /. 3. } ] }
+  in
+  Alcotest.(check (list string))
+    "floor value passes" []
+    (Report.gate ~band:3.0 ~baseline:syn ~fresh ())
+
+let test_gate_flags_slowdown () =
+  let fresh =
+    {
+      syn with
+      Report.kernels =
+        [ { Report.k_name = "flip"; ns_per_run = 1000.; k_at_ms = 1. } ];
+      ratios = [ { Report.r_name = "flip-speedup"; value = 0.5 } ];
+    }
+  in
+  let violations = Report.gate ~band:3.0 ~baseline:syn ~fresh () in
+  Alcotest.(check int) "kernel and ratio both flagged" 2
+    (List.length violations)
+
+let test_gate_flags_lost_identity () =
+  let fresh =
+    {
+      syn with
+      Report.pool =
+        List.map
+          (fun p -> { p with Report.identical = false })
+          syn.Report.pool;
+    }
+  in
+  Alcotest.(check bool) "identity loss flagged" true
+    (Report.gate ~baseline:syn ~fresh () <> [])
+
+let test_gate_flags_missing_ratio () =
+  let fresh = { syn with Report.ratios = [ { r_name = "other"; value = 9. } ] } in
+  Alcotest.(check bool) "missing baseline ratio flagged" true
+    (Report.gate ~baseline:syn ~fresh () <> [])
+
+(* --- the committed trajectory -------------------------------------------- *)
+
+(* dune runs tests in _build/default/test; walk up to the repo root. *)
+let find_bench_json () =
+  let rec up dir n =
+    if n < 0 then None
+    else
+      let candidate = Filename.concat dir "BENCH_6.json" in
+      if Sys.file_exists candidate then Some candidate
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else up parent (n - 1)
+  in
+  up (Sys.getcwd ()) 6
+
+let test_committed_report_validates () =
+  match find_bench_json () with
+  | None -> () (* no baseline checked out — nothing to validate *)
+  | Some path -> (
+    match Report.load path with
+    | Error msg -> Alcotest.failf "BENCH_6.json did not load: %s" msg
+    | Ok r ->
+      Alcotest.(check (list string)) "schema-clean" [] (Report.validate r);
+      Alcotest.(check int) "trajectory index" 6 r.Report.bench)
+
+let test_committed_report_self_gates () =
+  match find_bench_json () with
+  | None -> ()
+  | Some path -> (
+    match Report.load path with
+    | Error msg -> Alcotest.failf "BENCH_6.json did not load: %s" msg
+    | Ok r -> (
+      Alcotest.(check (list string))
+        "baseline gates itself" []
+        (Report.gate ~baseline:r ~fresh:r ());
+      (* and an injected 10x slowdown across every kernel is caught *)
+      let slowed =
+        {
+          r with
+          Report.kernels =
+            List.map
+              (fun k -> { k with Report.ns_per_run = k.Report.ns_per_run *. 10. })
+              r.Report.kernels;
+        }
+      in
+      match Report.gate ~baseline:r ~fresh:slowed () with
+      | [] -> Alcotest.fail "a 10x slowdown must not pass the gate"
+      | _ -> ()))
+
+let () =
+  Alcotest.run "bench-json"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "JSON round trip" `Quick test_roundtrip;
+          Alcotest.test_case "synthetic report validates" `Quick
+            test_validate_clean;
+          Alcotest.test_case "non-monotone timestamps flagged" `Quick
+            test_validate_catches_splicing;
+          Alcotest.test_case "non-positive ratios flagged" `Quick
+            test_validate_catches_bad_ratio;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "accepts itself" `Quick test_gate_accepts_itself;
+          Alcotest.test_case "band edges are inclusive" `Quick
+            test_gate_band_edges;
+          Alcotest.test_case "flags an injected slowdown" `Quick
+            test_gate_flags_slowdown;
+          Alcotest.test_case "flags lost pool identity" `Quick
+            test_gate_flags_lost_identity;
+          Alcotest.test_case "flags a missing ratio" `Quick
+            test_gate_flags_missing_ratio;
+        ] );
+      ( "committed",
+        [
+          Alcotest.test_case "BENCH_6.json is schema-clean" `Quick
+            test_committed_report_validates;
+          Alcotest.test_case "baseline self-gates and catches 10x" `Quick
+            test_committed_report_self_gates;
+        ] );
+    ]

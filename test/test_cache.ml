@@ -138,21 +138,9 @@ let test_reindexing () =
     Fixtures.theta3.Logic.Tgd.label
     swapped.Problem.candidates.(0).Logic.Tgd.label
 
-let test_solver_bit_identity () =
-  let plain = make_problem () in
-  let cache = Cache.create () in
-  let cached = make_problem ~cache () in
-  List.iter
-    (fun impl ->
-      let name = Solver.name impl in
-      let expected = Solver.solve impl ~seed:7 plain in
-      let cold = Solver.solve impl ~seed:7 ~cache cached in
-      let warm = Solver.solve impl ~seed:7 ~cache cached in
-      Alcotest.(check (array bool))
-        (name ^ ": cold cached selection bit-identical") expected cold;
-      Alcotest.(check (array bool))
-        (name ^ ": warm cached selection bit-identical") expected warm)
-    Solver.all
+(* Per-solver cache-on/off bit-identity (cold and warm, every registry
+   entry) is pinned declaratively by expect/e1_appendix.rtest's
+   cached-registry test and the expect/cache_identity.rtest corpus replays. *)
 
 let test_cached_selection_is_a_copy () =
   let cache = Cache.create () in
@@ -269,8 +257,6 @@ let () =
             test_problem_bit_identity;
           Alcotest.test_case "cached stats re-index per candidate list" `Quick
             test_reindexing;
-          Alcotest.test_case "every registered solver, cache on/off" `Quick
-            test_solver_bit_identity;
           Alcotest.test_case "returned selections are private copies" `Quick
             test_cached_selection_is_a_copy;
           Alcotest.test_case "Experiments.Common honours the shared cache"
