@@ -617,8 +617,9 @@ let () =
         kernels;
         ratios = derive_ratios rows pool cache;
         pool;
-        cache;
-        telemetry;
+        cache = Some cache;
+        telemetry = Some telemetry;
+        server = None;
       }
     in
     Perf.Report.save path report;

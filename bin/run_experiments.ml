@@ -17,7 +17,9 @@ let render format table =
 let run_ids format jobs cache trace ids =
   Cli.install_trace trace;
   Experiments.Common.set_jobs (Cli.resolve_jobs jobs);
-  Experiments.Common.set_cache (Cli.resolve_cache cache);
+  let cache = Cli.resolve_cache cache in
+  Cli.install_signal_flush ?cache ();
+  Experiments.Common.set_cache cache;
   let to_run =
     match ids with
     | [] -> List.map (fun (id, _, run) -> (id, run)) Experiments.Registry.all

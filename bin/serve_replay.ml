@@ -1,0 +1,540 @@
+(* Replay harness for the serving daemon.
+
+   Generates a deterministic campaign of fuzz-derived solve calls (request
+   r<i> always carries the same content, whatever the arrival order),
+   drives them through C concurrent client connections against a running
+   cmd_serve, and then holds the daemon to its contracts:
+
+   - byte-identity: the sorted response log is identical for any --jobs on
+     the server side and any --shuffle arrival order, because ids are
+     generation-indexed and bodies are pure functions of content;
+   - duplicate contents (every request whose index collides mod
+     --distinct) must receive byte-identical bodies within the run;
+   - load behaviour: zero connection resets always; typed overloaded
+     errors only when --expect-shed says the queue was sized to shed.
+
+   Latency percentiles and throughput go into a schema-v2 Perf.Report
+   (--json) whose server.* ratios bench_gate can floor against the
+   committed baseline. *)
+
+open Cmdliner
+
+module Json = Util.Json
+
+let now_ms () = Int64.to_float (Util.Timer.now_ns ()) /. 1.e6
+
+(* --- campaign generation ------------------------------------------------ *)
+
+let solvers = [| "greedy"; "local"; "anneal" |]
+
+(* Mapping-case generator seeds: walk the seed line from the root, keeping
+   seeds whose case is a mapping scenario (SET COVER cases would answer
+   with unsupported_case — deterministic too, but useless for latency). *)
+let content_seeds ~seed ~distinct =
+  let out = Array.make distinct 0 in
+  let rec fill i candidate =
+    if i < distinct then
+      let case = Fuzz.Gen.case ~seed:candidate in
+      match case.Fuzz.Case.payload with
+      | Fuzz.Case.Mapping _ ->
+        out.(i) <- candidate;
+        fill (i + 1) (candidate + 1)
+      | Fuzz.Case.Setcover _ -> fill i (candidate + 1)
+  in
+  fill 0 seed;
+  out
+
+let request_line ~contents ~distinct i =
+  let c = i mod distinct in
+  let j =
+    Json.Obj
+      [
+        ("id", Json.Str (Printf.sprintf "r%d" i));
+        ("method", Json.Str "solve");
+        ( "params",
+          Json.Obj
+            [
+              ("case_seed", Json.Num (float_of_int contents.(c)));
+              ("solver", Json.Str solvers.(c mod Array.length solvers));
+              ("seed", Json.Num (float_of_int c));
+            ] );
+      ]
+  in
+  Json.to_string j
+
+let arrival_order ~requests ~shuffle =
+  let order = Array.init requests Fun.id in
+  (match shuffle with
+  | None -> ()
+  | Some s ->
+    let rng = Random.State.make [| s |] in
+    for i = requests - 1 downto 1 do
+      let k = Random.State.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(k);
+      order.(k) <- tmp
+    done);
+  order
+
+(* --- client connections ------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  pending : int Queue.t;  (* assigned request indices, arrival order *)
+  mutable cur : (string * int * int) option;  (* line+\n, idx, offset *)
+  sendq : (string * int) Queue.t;
+  mutable outstanding : int;
+}
+
+let connect endpoint =
+  let addr, domain =
+    match endpoint with
+    | Cli.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Cli.Tcp (host, port) ->
+      (Unix.ADDR_INET (Unix.inet_addr_of_string host, port), Unix.PF_INET)
+  in
+  (* the daemon may still be booting (CI starts it in the background) *)
+  let rec attempt tries =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.1;
+      attempt (tries - 1)
+  in
+  let fd = attempt 100 in
+  Unix.set_nonblock fd;
+  fd
+
+let top_up ~window ~lines conn =
+  let cap = if window <= 0 then max_int else window in
+  while conn.outstanding < cap && not (Queue.is_empty conn.pending) do
+    let idx = Queue.pop conn.pending in
+    Queue.add (lines.(idx) ^ "\n", idx) conn.sendq;
+    conn.outstanding <- conn.outstanding + 1
+  done
+
+let flush_sendq ~sent_at conn =
+  let rec loop () =
+    (match conn.cur with
+    | None -> (
+      match Queue.take_opt conn.sendq with
+      | Some (line, idx) -> conn.cur <- Some (line, idx, 0)
+      | None -> ())
+    | Some _ -> ());
+    match conn.cur with
+    | None -> ()
+    | Some (line, idx, off) -> (
+      let len = String.length line - off in
+      match Unix.write_substring conn.fd line off len with
+      | n when n = len ->
+        sent_at.(idx) <- now_ms ();
+        conn.cur <- None;
+        loop ()
+      | n ->
+        conn.cur <- Some (line, idx, off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+(* --- response accounting ------------------------------------------------ *)
+
+type tally = {
+  bodies : string option array;  (* canonical result/error body per idx *)
+  shed_mask : bool array;  (* idx answered with a typed overloaded error *)
+  done_at : float array;
+  mutable completed : int;
+  mutable shed : int;
+  mutable resets : int;
+  unexpected : (string * string) Queue.t;  (* id, error line *)
+}
+
+let record tally line =
+  match Json.parse_line line with
+  | Error e ->
+    Queue.add ("?", Format.asprintf "unparseable frame (%a)" Json.pp_error e)
+      tally.unexpected
+  | Ok j -> (
+    if Json.member "progress" j <> None then ()
+    else
+      let idx =
+        match Option.bind (Json.member "id" j) Json.to_str with
+        | Some s when String.length s > 1 && s.[0] = 'r' ->
+          int_of_string_opt (String.sub s 1 (String.length s - 1))
+        | _ -> None
+      in
+      match idx with
+      | None -> Queue.add ("?", line) tally.unexpected
+      | Some i ->
+        let body, kind =
+          match (Json.member "result" j, Json.member "error" j) with
+          | Some r, _ -> (Json.to_string r, None)
+          | None, Some e ->
+            ( Json.to_string e,
+              Option.bind (Json.member "kind" e) Json.to_str )
+          | None, None -> (line, Some "malformed")
+        in
+        (match kind with
+        | None -> ()
+        | Some "overloaded" ->
+          tally.shed <- tally.shed + 1;
+          tally.shed_mask.(i) <- true
+        | Some k -> Queue.add (Printf.sprintf "r%d" i, k ^ ": " ^ body) tally.unexpected);
+        if tally.bodies.(i) = None then begin
+          tally.bodies.(i) <- Some body;
+          tally.done_at.(i) <- now_ms ();
+          tally.completed <- tally.completed + 1
+        end)
+
+let drain_lines conn handle =
+  let data = Buffer.contents conn.inbuf in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from data !start '\n' with
+       | nl ->
+         handle (String.sub data !start (nl - !start));
+         start := nl + 1
+       | exception Not_found -> raise Exit
+     done
+   with Exit -> ());
+  Buffer.clear conn.inbuf;
+  Buffer.add_substring conn.inbuf data !start (n - !start)
+
+(* --- the drive loop ----------------------------------------------------- *)
+
+let drive ~conns ~lines ~owner ~window ~tally ~sent_at ~requests =
+  let idx_conn i = conns.(owner.(i)) in
+  let handle_response line =
+    record tally line;
+    (* top up whichever connection just freed a slot *)
+    match Json.parse_line line with
+    | Ok j when Json.member "progress" j = None -> (
+      match Option.bind (Json.member "id" j) Json.to_str with
+      | Some s when String.length s > 1 && s.[0] = 'r' -> (
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some i when i >= 0 && i < requests ->
+          let c = idx_conn i in
+          c.outstanding <- c.outstanding - 1;
+          top_up ~window ~lines c
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+  in
+  let deadline = now_ms () +. 300_000. in
+  while tally.completed < requests && now_ms () < deadline do
+    let rfds = Array.to_list (Array.map (fun c -> c.fd) conns) in
+    let wfds =
+      Array.to_list conns
+      |> List.filter (fun c -> c.cur <> None || not (Queue.is_empty c.sendq))
+      |> List.map (fun c -> c.fd)
+    in
+    match Unix.select rfds wfds [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      List.iter
+        (fun fd ->
+          let conn = Array.to_list conns |> List.find (fun c -> c.fd = fd) in
+          flush_sendq ~sent_at conn)
+        writable;
+      List.iter
+        (fun fd ->
+          let conn = Array.to_list conns |> List.find (fun c -> c.fd = fd) in
+          let chunk = Bytes.create 8192 in
+          let rec rd () =
+            match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> tally.resets <- tally.resets + 1
+            | n ->
+              Buffer.add_subbytes conn.inbuf chunk 0 n;
+              rd ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd ()
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              -> tally.resets <- tally.resets + 1
+          in
+          rd ();
+          drain_lines conn handle_response)
+        readable
+  done
+
+(* One synchronous call on an already-drained connection. *)
+let call conn line =
+  let payload = line ^ "\n" in
+  let len = String.length payload in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring conn.fd payload !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ignore (Unix.select [] [ conn.fd ] [] 1.0)
+  done;
+  let answer = ref None in
+  let deadline = now_ms () +. 30_000. in
+  while !answer = None && now_ms () < deadline do
+    (match Unix.select [ conn.fd ] [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      let chunk = Bytes.create 8192 in
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> failwith "connection closed mid-call"
+      | n -> Buffer.add_subbytes conn.inbuf chunk 0 n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()));
+    drain_lines conn (fun l -> if !answer = None then answer := Some l)
+  done;
+  match !answer with
+  | Some l -> l
+  | None -> failwith "no answer to control call within 30s"
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let build_report ~bench ~jobs ~requests ~connections ~latencies ~wall_s ~shed
+    ~coalesced ~s_identical ~s_at_ms =
+  let p50 = Util.Stats.percentile 50. latencies in
+  let p99 = Util.Stats.percentile 99. latencies in
+  let mean = Util.Stats.mean latencies in
+  let throughput = float_of_int requests /. wall_s in
+  let ratio name value = { Perf.Report.r_name = name; value } in
+  {
+    Perf.Report.schema_version = 2;
+    bench;
+    jobs;
+    kernels = [];
+    ratios =
+      [
+        ratio "server.throughput-rps" throughput;
+        ratio "server.p50-rps" (1000. /. p50);
+        ratio "server.p99-rps" (1000. /. p99);
+      ];
+    pool = [];
+    cache = None;
+    telemetry = None;
+    server =
+      Some
+        {
+          Perf.Report.requests;
+          concurrency = connections;
+          p50_ms = p50;
+          p99_ms = p99;
+          mean_ms = mean;
+          throughput_rps = throughput;
+          shed;
+          coalesced;
+          s_identical;
+          s_at_ms;
+        };
+  }
+
+(* --- main --------------------------------------------------------------- *)
+
+let run socket port requests connections distinct seed shuffle jobs window
+    expect_shed bench json_out log_out do_shutdown =
+  let endpoint = Cli.resolve_endpoint ~socket ~port in
+  if requests < 1 then Cli.die "--requests must be at least 1";
+  if connections < 1 then Cli.die "--connections must be at least 1";
+  let distinct = min distinct requests in
+  if distinct < 1 then Cli.die "--distinct must be at least 1";
+  let t0 = now_ms () in
+  let contents = content_seeds ~seed ~distinct in
+  let lines = Array.init requests (request_line ~contents ~distinct) in
+  let order = arrival_order ~requests ~shuffle in
+  let conns = Array.init connections (fun _ -> connect endpoint) in
+  let conns =
+    Array.map
+      (fun fd ->
+        {
+          fd;
+          inbuf = Buffer.create 4096;
+          pending = Queue.create ();
+          cur = None;
+          sendq = Queue.create ();
+          outstanding = 0;
+        })
+      conns
+  in
+  (* request at arrival position p goes to connection p mod C *)
+  let owner = Array.make requests 0 in
+  Array.iteri
+    (fun p idx ->
+      owner.(idx) <- p mod connections;
+      Queue.add idx conns.(p mod connections).pending)
+    order;
+  let sent_at = Array.make requests 0. in
+  let tally =
+    {
+      bodies = Array.make requests None;
+      shed_mask = Array.make requests false;
+      done_at = Array.make requests 0.;
+      completed = 0;
+      shed = 0;
+      resets = 0;
+      unexpected = Queue.create ();
+    }
+  in
+  Array.iter (top_up ~window ~lines) conns;
+  let start = now_ms () in
+  drive ~conns ~lines ~owner ~window ~tally ~sent_at ~requests;
+  let wall_s = (now_ms () -. start) /. 1000. in
+  if tally.completed < requests then
+    Cli.die "replay stalled: %d of %d responses after %.0fs" tally.completed
+      requests wall_s;
+  (* identity within the run: same content (and not shed) => same body *)
+  let groups = Hashtbl.create distinct in
+  Array.iteri
+    (fun i body ->
+      match body with
+      | None -> ()
+      | Some _ when tally.shed_mask.(i) -> ()
+      | Some b -> (
+        let c = i mod distinct in
+        match Hashtbl.find_opt groups c with
+        | None -> Hashtbl.replace groups c b
+        | Some prev when prev = b -> ()
+        | Some _ -> Hashtbl.replace groups c "\000mismatch"))
+    tally.bodies;
+  let s_identical =
+    Hashtbl.fold (fun _ b acc -> acc && b <> "\000mismatch") groups true
+  in
+  (* server-side accounting *)
+  let stats_line =
+    call conns.(0)
+      (Json.to_string
+         (Json.Obj [ ("id", Json.Str "stats"); ("method", Json.Str "stats") ]))
+  in
+  let coalesced =
+    match Json.parse_line stats_line with
+    | Ok j ->
+      Option.value ~default:0
+        (Option.bind
+           (Option.bind (Json.member "result" j) (Json.member "coalesced"))
+           Json.to_int)
+    | Error _ -> 0
+  in
+  if do_shutdown then
+    ignore
+      (call conns.(0)
+         (Json.to_string
+            (Json.Obj
+               [ ("id", Json.Str "bye"); ("method", Json.Str "shutdown") ])));
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  (* the sorted response log: id-keyed frames, content-stable ids *)
+  Option.iter
+    (fun path ->
+      let entries =
+        Array.to_list
+          (Array.mapi
+             (fun i b -> Printf.sprintf "r%d\t%s" i (Option.value b ~default:""))
+             tally.bodies)
+      in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (List.sort compare entries);
+      close_out oc)
+    log_out;
+  let latencies =
+    Array.to_list (Array.mapi (fun i d -> d -. sent_at.(i)) tally.done_at)
+  in
+  let report =
+    build_report ~bench ~jobs ~requests ~connections ~latencies ~wall_s
+      ~shed:tally.shed ~coalesced ~s_identical ~s_at_ms:(now_ms () -. t0)
+  in
+  (match Perf.Report.validate report with
+  | [] -> ()
+  | issues ->
+    Cli.die "internal: replay report fails validation: %s"
+      (String.concat "; " issues));
+  Option.iter (fun path -> Perf.Report.save path report) json_out;
+  Printf.printf
+    "replay: %d requests over %d connections in %.2fs (%.0f rps)\n\
+     latency ms: p50 %.2f  p99 %.2f  mean %.2f\n\
+     shed %d  coalesced %d  resets %d  identical %b\n"
+    requests connections wall_s
+    (float_of_int requests /. wall_s)
+    (Util.Stats.percentile 50. latencies)
+    (Util.Stats.percentile 99. latencies)
+    (Util.Stats.mean latencies) tally.shed coalesced tally.resets s_identical;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if tally.resets > 0 then fail "%d connection resets (must be 0)" tally.resets;
+  if not s_identical then fail "duplicate contents got different bodies";
+  if expect_shed && tally.shed = 0 then
+    fail "--expect-shed, but no overloaded responses";
+  if (not expect_shed) && tally.shed > 0 then
+    fail "%d overloaded responses in a run sized not to shed" tally.shed;
+  Queue.iter
+    (fun (id, msg) -> fail "unexpected response for %s: %s" id msg)
+    tally.unexpected;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun m -> Printf.eprintf "serve_replay: %s\n" m) (List.rev fs);
+    exit 1
+
+let requests =
+  Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~docv:"N"
+         ~doc:"Solve calls to issue.")
+
+let connections =
+  Arg.(value & opt int 8 & info [ "c"; "connections" ] ~docv:"C"
+         ~doc:"Concurrent client connections.")
+
+let distinct =
+  Arg.(value & opt int 25 & info [ "distinct" ] ~docv:"D"
+         ~doc:"Distinct request contents; request i reuses content i mod D, \
+               so duplicates exercise coalescing and the warm cache.")
+
+let seed = Cli.seed ~default:7 ~doc:"Root seed for the fuzz-generated scenarios."
+
+let shuffle =
+  Arg.(value & opt (some int) None & info [ "shuffle" ] ~docv:"SEED"
+         ~doc:"Shuffle the arrival order with this seed (default: issue in \
+               generation order). Any two shuffles must produce the same \
+               sorted response log.")
+
+let jobs_flag =
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+         ~doc:"Recorded in the report: the --jobs the daemon was started \
+               with (the replay itself is single-threaded).")
+
+let window =
+  Arg.(value & opt int 8 & info [ "window" ] ~docv:"W"
+         ~doc:"In-flight requests per connection; 0 floods every request at \
+               once (pair with --expect-shed and an undersized --queue).")
+
+let expect_shed =
+  Arg.(value & flag & info [ "expect-shed" ]
+         ~doc:"Require at least one typed overloaded response (and exclude \
+               shed responses from the identity check).")
+
+let bench =
+  Arg.(value & opt int 7 & info [ "bench" ] ~docv:"N"
+         ~doc:"Trajectory index recorded in the report.")
+
+let json_out =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Write the schema-v2 Perf.Report here.")
+
+let log_out =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH"
+         ~doc:"Write the sorted response log here (byte-identical across \
+               daemon --jobs and arrival shuffles).")
+
+let do_shutdown =
+  Arg.(value & flag & info [ "shutdown" ]
+         ~doc:"Send a shutdown call once the campaign completes.")
+
+let cmd =
+  let doc = "Drive a running cmd_serve and check its contracts" in
+  Cmd.v
+    (Cmd.info "serve_replay" ~doc)
+    Term.(
+      const run $ Cli.socket $ Cli.port $ requests $ connections $ distinct
+      $ seed $ shuffle $ jobs_flag $ window $ expect_shed $ bench $ json_out
+      $ log_out $ do_shutdown)
+
+let () = exit (Cmd.eval cmd)

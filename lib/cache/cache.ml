@@ -402,6 +402,34 @@ let decode_selection text =
     else None
   | _ -> None
 
+(* --- disk re-sync ------------------------------------------------------- *)
+
+let encode_payload = function
+  | Stats s -> encode_stats s
+  | Selection sel -> encode_selection sel
+
+(* Snapshot the completed entries under the lock, write outside it: the
+   writes are pure repair work and must not serialize concurrent lookups. *)
+let sync t =
+  match t.dir_ with
+  | None -> ()
+  | Some dir ->
+    let entries =
+      Mutex.lock t.mutex;
+      let rec walk acc n =
+        if n == t.sentinel then acc
+        else walk ((n.nkey, n.payload) :: acc) n.next
+      in
+      let entries = walk [] t.sentinel.next in
+      Mutex.unlock t.mutex;
+      entries
+    in
+    List.iter
+      (fun (key, payload) ->
+        if not (Sys.file_exists (disk_path dir key)) then
+          disk_write dir key (encode_payload payload))
+      entries
+
 (* --- typed entry points ------------------------------------------------- *)
 
 (* Rendering both instances is linear in the data; digesting them once per

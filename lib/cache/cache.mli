@@ -55,6 +55,14 @@ val stats : t -> stats
 (** Per-cache totals; the [cache.hits]/[cache.misses]/[cache.evictions]
     telemetry counters aggregate the same events across all caches. *)
 
+val sync : t -> unit
+(** Re-persists every completed in-memory entry whose disk file is missing
+    (a no-op without a disk tier). Entries are normally written as they
+    complete, so this only repairs files lost to a failed or raced write —
+    long-lived processes (the serving daemon, campaign drivers) call it
+    from their SIGTERM/SIGINT path so a kill never strands warm state that
+    the next process could have reloaded. *)
+
 val of_spec : string -> t option
 (** Maps the [--cache]/[CACHE_DIR] spelling to a cache: [""] is no cache,
     ["mem"] an in-memory cache, anything else a directory-backed one. *)

@@ -45,6 +45,62 @@ let resolve_cache = function
   | None -> Cache.default ()
   | Some spec -> Cache.of_spec spec
 
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket of the mapping-selection daemon (serve: bind \
+           and listen; replay: connect). Exactly one of $(b,--socket) and \
+           $(b,--port) must be given.")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:"TCP port of the daemon, on 127.0.0.1.")
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int
+
+let resolve_endpoint ~socket ~port =
+  match socket, port with
+  | Some path, None -> Unix_socket path
+  | None, Some p when p >= 1 && p <= 65535 -> Tcp ("127.0.0.1", p)
+  | None, Some p -> die "--port must be within [1, 65535], got %d" p
+  | Some _, Some _ -> die "--socket and --port are mutually exclusive"
+  | None, None -> die "an endpoint is required: --socket PATH or --port N"
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline: requests still queued after $(docv) \
+           milliseconds are answered with a typed deadline error instead \
+           of being solved. Unset means no deadline.")
+
+let resolve_deadline = function
+  | None -> None
+  | Some ms when ms > 0. -> Some ms
+  | Some ms -> die "--deadline-ms must be positive, got %g" ms
+
+let install_signal_flush ?cache () =
+  let graceful status (_ : int) =
+    Option.iter Cache.sync cache;
+    (* [exit] runs the at_exit chain, which holds the telemetry flush when
+       tracing is on — the handler itself never writes to the sinks *)
+    exit status
+  in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (graceful 143))
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful 130))
+  with Invalid_argument _ | Sys_error _ -> ()
+
 type trace = {
   trace : bool;
   trace_out : string option;

@@ -42,6 +42,40 @@ val resolve_cache : string option -> Cache.t option
     [""] disables, ["mem"] is in-memory, anything else directory-backed).
     Purely an optimisation: results are bit-identical with and without. *)
 
+val socket : string option Cmdliner.Term.t
+(** [--socket PATH]: a Unix-domain socket endpoint, for the serving
+    daemon and its replay harness. Mutually exclusive with {!port};
+    enforce with {!resolve_endpoint}. *)
+
+val port : int option Cmdliner.Term.t
+(** [--port N]: a TCP endpoint on 127.0.0.1. *)
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int
+
+val resolve_endpoint :
+  socket:string option -> port:int option -> endpoint
+(** The effective endpoint: exactly one of the two flags must be given
+    (TCP ports must be within [1, 65535]); anything else exits with
+    status 2. *)
+
+val deadline_ms : float option Cmdliner.Term.t
+(** [--deadline-ms MS]: per-request deadline. Non-positive values exit
+    with status 2 via {!resolve_deadline}. *)
+
+val resolve_deadline : float option -> float option
+
+val install_signal_flush : ?cache:Cache.t -> unit -> unit
+(** Installs SIGTERM/SIGINT handlers that end the process through [exit]
+    (status 143/130) instead of the default immediate kill, after
+    {!Cache.sync}ing [cache]. Because [exit] runs the [at_exit] chain,
+    the telemetry sinks installed by {!install_trace} (or the [TELEMETRY]
+    hook) are flushed too — a campaign or serving process killed
+    mid-stream never truncates its JSONL trace or strands its disk-tier
+    cache. Long-running binaries call this once at startup; the serving
+    daemon installs its own handlers (graceful drain) instead. *)
+
 type trace = {
   trace : bool;  (** [--trace]: human report to stderr at exit *)
   trace_out : string option;  (** [--trace-out FILE]: JSONL stream *)

@@ -39,6 +39,19 @@ type telemetry_section = {
   t_at_ms : float;
 }
 
+type server_section = {
+  requests : int;
+  concurrency : int;
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  throughput_rps : float;
+  shed : int;
+  coalesced : int;
+  s_identical : bool;
+  s_at_ms : float;
+}
+
 type t = {
   schema_version : int;
   bench : int;
@@ -46,8 +59,9 @@ type t = {
   kernels : kernel list;
   ratios : ratio list;
   pool : pool_compare list;
-  cache : cache_section;
-  telemetry : telemetry_section;
+  cache : cache_section option;
+  telemetry : telemetry_section option;
+  server : server_section option;
 }
 
 (* --- JSON encoding ------------------------------------------------------- *)
@@ -56,7 +70,7 @@ open Util.Json
 
 let to_json r =
   Obj
-    [
+    ([
       ("schema_version", Num (float_of_int r.schema_version));
       ("bench", Num (float_of_int r.bench));
       ("jobs", Num (float_of_int r.jobs));
@@ -90,30 +104,60 @@ let to_json r =
                    ("at_ms", Num p.p_at_ms);
                  ])
              r.pool) );
-      ( "cache",
-        Obj
-          [
-            ("uncached_ms", Num r.cache.uncached_ms);
-            ("cold_ms", Num r.cache.cold_ms);
-            ("warm_ms", Num r.cache.warm_ms);
-            ("warm_speedup", Num r.cache.warm_speedup);
-            ("hits", Num (float_of_int r.cache.hits));
-            ("misses", Num (float_of_int r.cache.misses));
-            ("evictions", Num (float_of_int r.cache.evictions));
-            ("hit_rate", Num r.cache.hit_rate);
-            ("bit_identical", Bool r.cache.bit_identical);
-            ("at_ms", Num r.cache.c_at_ms);
-          ] );
-      ( "telemetry",
-        Obj
-          [
-            ("disabled_ms", Num r.telemetry.disabled_ms);
-            ("enabled_ms", Num r.telemetry.enabled_ms);
-            ("overhead_pct", Num r.telemetry.overhead_pct);
-            ("within_budget", Bool r.telemetry.within_budget);
-            ("at_ms", Num r.telemetry.t_at_ms);
-          ] );
     ]
+    @ (match r.cache with
+      | None -> []
+      | Some c ->
+        [
+          ( "cache",
+            Obj
+              [
+                ("uncached_ms", Num c.uncached_ms);
+                ("cold_ms", Num c.cold_ms);
+                ("warm_ms", Num c.warm_ms);
+                ("warm_speedup", Num c.warm_speedup);
+                ("hits", Num (float_of_int c.hits));
+                ("misses", Num (float_of_int c.misses));
+                ("evictions", Num (float_of_int c.evictions));
+                ("hit_rate", Num c.hit_rate);
+                ("bit_identical", Bool c.bit_identical);
+                ("at_ms", Num c.c_at_ms);
+              ] );
+        ])
+    @ (match r.telemetry with
+      | None -> []
+      | Some t ->
+        [
+          ( "telemetry",
+            Obj
+              [
+                ("disabled_ms", Num t.disabled_ms);
+                ("enabled_ms", Num t.enabled_ms);
+                ("overhead_pct", Num t.overhead_pct);
+                ("within_budget", Bool t.within_budget);
+                ("at_ms", Num t.t_at_ms);
+              ] );
+        ])
+    @
+    (match r.server with
+    | None -> []
+    | Some s ->
+      [
+        ( "server",
+          Obj
+            [
+              ("requests", Num (float_of_int s.requests));
+              ("concurrency", Num (float_of_int s.concurrency));
+              ("p50_ms", Num s.p50_ms);
+              ("p99_ms", Num s.p99_ms);
+              ("mean_ms", Num s.mean_ms);
+              ("throughput_rps", Num s.throughput_rps);
+              ("shed", Num (float_of_int s.shed));
+              ("coalesced", Num (float_of_int s.coalesced));
+              ("identical", Bool s.s_identical);
+              ("at_ms", Num s.s_at_ms);
+            ] );
+      ]))
 
 (* --- JSON decoding ------------------------------------------------------- *)
 
@@ -177,16 +221,22 @@ let of_json j =
         t_at_ms = get "telemetry" to_float "at_ms" j;
       }
     in
-    let cache_j =
-      match member "cache" j with
-      | Some c -> c
-      | None -> raise (Decode "missing field 'cache'")
+    let server_section j =
+      {
+        requests = get "server" to_int "requests" j;
+        concurrency = get "server" to_int "concurrency" j;
+        p50_ms = get "server" to_float "p50_ms" j;
+        p99_ms = get "server" to_float "p99_ms" j;
+        mean_ms = get "server" to_float "mean_ms" j;
+        throughput_rps = get "server" to_float "throughput_rps" j;
+        shed = get "server" to_int "shed" j;
+        coalesced = get "server" to_int "coalesced" j;
+        s_identical = get "server" to_bool "identical" j;
+        s_at_ms = get "server" to_float "at_ms" j;
+      }
     in
-    let telemetry_j =
-      match member "telemetry" j with
-      | Some t -> t
-      | None -> raise (Decode "missing field 'telemetry'")
-    in
+    (* sections are optional at the decoding layer; [validate] enforces
+       what each schema version requires *)
     {
       schema_version = get "report" to_int "schema_version" j;
       bench = get "report" to_int "bench" j;
@@ -194,8 +244,9 @@ let of_json j =
       kernels = List.map kernel (get_list "report" "kernels" j);
       ratios = List.map ratio (get_list "report" "ratios" j);
       pool = List.map pool_compare (get_list "report" "pool" j);
-      cache = cache_section cache_j;
-      telemetry = telemetry_section telemetry_j;
+      cache = Option.map cache_section (member "cache" j);
+      telemetry = Option.map telemetry_section (member "telemetry" j);
+      server = Option.map server_section (member "server" j);
     }
   with
   | r -> Ok r
@@ -223,11 +274,19 @@ let validate r =
     if not (Float.is_finite v && v >= 0.) then
       bad "%s: expected a finite nonnegative number, got %g" what v
   in
-  if r.schema_version <> 1 then
-    bad "schema_version: expected 1, got %d" r.schema_version;
+  (match r.schema_version with
+  | 1 ->
+    (* v1 predates optional sections: cache and telemetry are mandatory
+       and the server section does not exist yet *)
+    if r.cache = None then bad "schema v1: missing cache section";
+    if r.telemetry = None then bad "schema v1: missing telemetry section";
+    if r.server <> None then bad "schema v1: unexpected server section"
+  | 2 -> ()
+  | v -> bad "schema_version: expected 1 or 2, got %d" v);
   if r.bench < 1 then bad "bench: expected a positive index, got %d" r.bench;
   if r.jobs < 1 then bad "jobs: expected >= 1, got %d" r.jobs;
-  if r.kernels = [] then bad "kernels: expected at least one entry";
+  if r.kernels = [] && r.server = None then
+    bad "kernels: expected at least one entry (or a server section)";
   if r.ratios = [] then bad "ratios: expected at least one entry";
   List.iter
     (fun k -> finite_nonneg (Printf.sprintf "kernel %s" k.k_name) k.ns_per_run)
@@ -246,26 +305,58 @@ let validate r =
         bad "pool %s: expected a finite positive speedup, got %g" p.p_name
           p.speedup)
     r.pool;
-  finite_nonneg "cache uncached_ms" r.cache.uncached_ms;
-  finite_nonneg "cache cold_ms" r.cache.cold_ms;
-  finite_nonneg "cache warm_ms" r.cache.warm_ms;
-  if not (Float.is_finite r.cache.warm_speedup && r.cache.warm_speedup > 0.)
-  then bad "cache warm_speedup: expected finite positive, got %g"
-      r.cache.warm_speedup;
-  if not (Float.is_finite r.cache.hit_rate
-          && r.cache.hit_rate >= 0.
-          && r.cache.hit_rate <= 1.)
-  then bad "cache hit_rate: expected within [0, 1], got %g" r.cache.hit_rate;
-  if r.cache.hits < 0 || r.cache.misses < 0 || r.cache.evictions < 0 then
-    bad "cache counters: expected nonnegative counts";
-  finite_nonneg "telemetry disabled_ms" r.telemetry.disabled_ms;
-  finite_nonneg "telemetry enabled_ms" r.telemetry.enabled_ms;
+  Option.iter
+    (fun c ->
+      finite_nonneg "cache uncached_ms" c.uncached_ms;
+      finite_nonneg "cache cold_ms" c.cold_ms;
+      finite_nonneg "cache warm_ms" c.warm_ms;
+      if not (Float.is_finite c.warm_speedup && c.warm_speedup > 0.) then
+        bad "cache warm_speedup: expected finite positive, got %g"
+          c.warm_speedup;
+      if not (Float.is_finite c.hit_rate
+              && c.hit_rate >= 0.
+              && c.hit_rate <= 1.)
+      then bad "cache hit_rate: expected within [0, 1], got %g" c.hit_rate;
+      if c.hits < 0 || c.misses < 0 || c.evictions < 0 then
+        bad "cache counters: expected nonnegative counts")
+    r.cache;
+  Option.iter
+    (fun t ->
+      finite_nonneg "telemetry disabled_ms" t.disabled_ms;
+      finite_nonneg "telemetry enabled_ms" t.enabled_ms)
+    r.telemetry;
+  Option.iter
+    (fun s ->
+      if s.requests < 1 then
+        bad "server requests: expected at least one measured request, got %d"
+          s.requests;
+      if s.concurrency < 1 then
+        bad "server concurrency: expected >= 1, got %d" s.concurrency;
+      List.iter
+        (fun (what, v) ->
+          if not (Float.is_finite v && v > 0.) then
+            bad "server %s: expected finite positive, got %g" what v)
+        [
+          ("p50_ms", s.p50_ms);
+          ("p99_ms", s.p99_ms);
+          ("mean_ms", s.mean_ms);
+          ("throughput_rps", s.throughput_rps);
+        ];
+      if s.p50_ms > s.p99_ms then
+        bad "server latency: p50 %g ms exceeds p99 %g ms" s.p50_ms s.p99_ms;
+      if s.shed < 0 || s.coalesced < 0 then
+        bad "server counters: expected nonnegative counts")
+    r.server;
   (* the concatenated at_ms sequence must be nondecreasing: one run, in
      emission order *)
   let stamps =
     List.map (fun k -> (Printf.sprintf "kernel %s" k.k_name, k.k_at_ms)) r.kernels
     @ List.map (fun p -> (Printf.sprintf "pool %s" p.p_name, p.p_at_ms)) r.pool
-    @ [ ("cache", r.cache.c_at_ms); ("telemetry", r.telemetry.t_at_ms) ]
+    @ (match r.cache with None -> [] | Some c -> [ ("cache", c.c_at_ms) ])
+    @ (match r.telemetry with
+      | None -> []
+      | Some t -> [ ("telemetry", t.t_at_ms) ])
+    @ match r.server with None -> [] | Some s -> [ ("server", s.s_at_ms) ]
   in
   List.iter (fun (what, v) -> finite_nonneg (what ^ " at_ms") v) stamps;
   let rec monotone = function
@@ -322,7 +413,23 @@ let gate ?(band = 3.0) ~baseline ~fresh () =
           bad "pool %s: pooled result no longer identical to sequential"
             f.p_name)
       fresh.pool;
-    if not fresh.cache.bit_identical then
-      bad "cache: cached problem no longer bit-identical to uncached"
+    (match baseline.cache, fresh.cache with
+    | Some _, None -> bad "cache: section missing from the fresh report"
+    | _ -> ());
+    (match baseline.server, fresh.server with
+    | Some _, None -> bad "server: section missing from the fresh report"
+    | _ -> ());
+    Option.iter
+      (fun c ->
+        if not c.bit_identical then
+          bad "cache: cached problem no longer bit-identical to uncached")
+      fresh.cache;
+    Option.iter
+      (fun s ->
+        if not s.s_identical then
+          bad
+            "server: duplicate requests no longer received identical \
+             response bodies")
+      fresh.server
   end;
   List.rev !issues

@@ -56,17 +56,44 @@ type telemetry_section = {
   t_at_ms : float;
 }
 
+type server_section = {
+  requests : int;  (** completed requests measured *)
+  concurrency : int;  (** client connections driving the daemon *)
+  p50_ms : float;  (** median request latency *)
+  p99_ms : float;
+  mean_ms : float;
+  throughput_rps : float;  (** completed requests per wall-clock second *)
+  shed : int;  (** typed [overloaded] responses (0 outside shed tests) *)
+  coalesced : int;
+      (** requests answered without a solver invocation — served by the
+          warm cache's single-flight selection tier *)
+  s_identical : bool;
+      (** every duplicate-content request in the campaign received a
+          byte-identical response body; gated like the other identity
+          booleans *)
+  s_at_ms : float;
+}
+(** The daemon's latency/throughput section, emitted by
+    [bin/serve_replay --json] (schema v2). The gated ratio floors —
+    [server.throughput-rps], [server.p50-rps], [server.p99-rps]
+    (inverse latencies, bigger is better) — are derived into {!t.ratios}
+    so {!gate} covers the daemon with the same machinery as the kernels. *)
+
 type t = {
-  schema_version : int;  (** 1 *)
+  schema_version : int;  (** 1 (bench-only) or 2 (optional sections) *)
   bench : int;  (** the trajectory index; 6 for [BENCH_6.json] *)
-  jobs : int;  (** pool size used for the parallel section *)
+  jobs : int;  (** pool size used for the parallel/serving section *)
   kernels : kernel list;
+      (** may be empty in a v2 server report — {!validate} then requires
+          a {!server_section} instead *)
   ratios : ratio list;
       (** derived bigger-is-better numbers (kernel speedups, pool
-          speedups, cache warm speedup) — the values {!gate} compares *)
+          speedups, cache warm speedup, server throughput/inverse
+          latencies) — the values {!gate} compares *)
   pool : pool_compare list;
-  cache : cache_section;
-  telemetry : telemetry_section;
+  cache : cache_section option;  (** required by schema v1 *)
+  telemetry : telemetry_section option;  (** required by schema v1 *)
+  server : server_section option;  (** v2 only *)
 }
 
 val to_json : t -> Util.Json.t
@@ -81,17 +108,21 @@ val load : string -> (t, string) result
 (** Read, parse and decode; errors name the path. *)
 
 val validate : t -> string list
-(** Schema-level checks, [[]] when clean: expected [schema_version],
-    nonempty kernels and ratios, finite nonnegative timings, finite
-    positive ratio values, hit rate within [0, 1], and the concatenated
-    [at_ms] sequence (kernels, pool, cache, telemetry) nondecreasing. *)
+(** Schema-level checks, [[]] when clean: a known [schema_version] (v1
+    additionally requires the cache and telemetry sections and forbids
+    the server one), nonempty ratios, nonempty kernels unless a server
+    section carries the report, finite nonnegative timings, finite
+    positive ratio values, hit rate within [0, 1], [p50 <= p99], and the
+    concatenated [at_ms] sequence (kernels, pool, cache, telemetry,
+    server) nondecreasing. *)
 
 val gate : ?band:float -> baseline:t -> fresh:t -> unit -> string list
 (** Regression check of [fresh] against [baseline]; [[]] when clean.
     [band] (default 3.0, must be [>= 1]) is the multiplicative tolerance
     absorbing machine-to-machine variance: every baseline ratio must
     reappear in [fresh] with [value >= baseline / band], every baseline
-    kernel with [ns_per_run <= baseline * band], and the fresh boolean
-    identities ([identical], [bit_identical]) must hold. The telemetry
-    budget verdict is deliberately not gated. Both reports are
-    {!validate}d first. *)
+    kernel with [ns_per_run <= baseline * band], every section present in
+    the baseline must be present in [fresh], and the fresh boolean
+    identities ([identical], [bit_identical], [s_identical]) must hold.
+    The telemetry budget verdict is deliberately not gated. Both reports
+    are {!validate}d first. *)

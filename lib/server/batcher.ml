@@ -1,0 +1,32 @@
+(* A mutex-protected bounded FIFO. No condition variable: the server's
+   event loop polls between select rounds, so nobody ever blocks here. *)
+
+type 'a t = { capacity : int; queue : 'a Queue.t; lock : Mutex.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Batcher.create: capacity < 1";
+  { capacity; queue = Queue.create (); lock = Mutex.create () }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Queue.length t.queue)
+
+let try_add t x =
+  locked t (fun () ->
+      if Queue.length t.queue >= t.capacity then false
+      else (
+        Queue.add x t.queue;
+        true))
+
+let drain ~max t =
+  if max < 1 then invalid_arg "Batcher.drain: max < 1";
+  locked t (fun () ->
+      let rec take n acc =
+        if n = 0 || Queue.is_empty t.queue then List.rev acc
+        else take (n - 1) (Queue.pop t.queue :: acc)
+      in
+      take max [])

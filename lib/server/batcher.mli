@@ -1,0 +1,24 @@
+(** The bounded admission queue between connection IO and the scheduler.
+
+    Admission control is where load-shedding happens: a full queue makes
+    {!try_add} return [false] and the server answers that call with a
+    typed [overloaded] error instead of letting work pile up unboundedly
+    (or, worse, dropping the connection). The queue is FIFO, so a drained
+    batch preserves arrival order — the scheduler re-sorts by content key
+    for cache locality but replies in arrival order. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val try_add : 'a t -> 'a -> bool
+(** [false] when the queue is at capacity — the caller sheds the item. *)
+
+val drain : max:int -> 'a t -> 'a list
+(** Removes and returns up to [max] items in arrival order; [[]] when the
+    queue is empty. Raises [Invalid_argument] when [max < 1]. *)

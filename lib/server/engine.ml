@@ -1,0 +1,211 @@
+(* The request handler over one warm cache.
+
+   Thread-safety: [handle] runs concurrently on pool workers. The cache is
+   internally synchronised, the counters are atomics, and everything else
+   here is per-call immutable data — so the engine needs no lock of its
+   own. *)
+
+module Json = Util.Json
+
+type t = {
+  cache : Cache.t;
+  handled : int Atomic.t;
+  solves : int Atomic.t;
+  ok : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+type stats = { handled : int; solves : int; coalesced : int; errors : int }
+
+let create ?cache () =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  {
+    cache;
+    handled = Atomic.make 0;
+    solves = Atomic.make 0;
+    ok = Atomic.make 0;
+    errors = Atomic.make 0;
+  }
+
+let cache t = t.cache
+
+let stats (t : t) : stats =
+  {
+    handled = Atomic.get t.handled;
+    solves = Atomic.get t.solves;
+    coalesced = Stdlib.max 0 (Atomic.get t.ok - Atomic.get t.solves);
+    errors = Atomic.get t.errors;
+  }
+
+let stats_body t ~extra =
+  let s = stats t in
+  let c = Cache.stats t.cache in
+  Json.Obj
+    ([
+       ("requests", Json.Num (float_of_int s.handled));
+       ("solves", Json.Num (float_of_int s.solves));
+       ("coalesced", Json.Num (float_of_int s.coalesced));
+       ("errors", Json.Num (float_of_int s.errors));
+       ( "cache",
+         Json.Obj
+           [
+             ("hits", Json.Num (float_of_int c.Cache.hits));
+             ("misses", Json.Num (float_of_int c.Cache.misses));
+             ("evictions", Json.Num (float_of_int c.Cache.evictions));
+             ("capacity", Json.Num (float_of_int (Cache.capacity t.cache)));
+           ] );
+     ]
+    @ extra)
+
+(* --- scenario resolution ------------------------------------------------ *)
+
+exception Fail of Protocol.error_kind * string
+
+let fail kind fmt = Printf.ksprintf (fun m -> raise (Fail (kind, m))) fmt
+
+type resolved = {
+  source : Relational.Instance.t;
+  j : Relational.Instance.t;
+  candidates : Logic.Tgd.t list;
+  scenario_weights : Core.Problem.weights;
+}
+
+let of_document doc =
+  let candidates =
+    match doc.Serialize.Document.tgds with
+    | [] ->
+      (* no explicit candidates: generate them Clio-style from the
+         correspondences, exactly as cmd_select does *)
+      Candgen.Generate.generate ~source:doc.Serialize.Document.source
+        ~target:doc.Serialize.Document.target
+        ~src_fkeys:doc.Serialize.Document.src_fkeys
+        ~tgt_fkeys:doc.Serialize.Document.tgt_fkeys
+        ~corrs:doc.Serialize.Document.correspondences
+    | tgds -> tgds
+  in
+  {
+    source = doc.Serialize.Document.instance_i;
+    j = doc.Serialize.Document.instance_j;
+    candidates;
+    scenario_weights = Core.Problem.default_weights;
+  }
+
+let of_case ~what = function
+  | Fuzz.Case.Mapping m ->
+    {
+      source = m.Fuzz.Case.source;
+      j = m.Fuzz.Case.j;
+      candidates = m.Fuzz.Case.candidates;
+      scenario_weights = m.Fuzz.Case.weights;
+    }
+  | Fuzz.Case.Setcover _ ->
+    fail Protocol.Unsupported_case
+      "%s is a SET COVER case; the service solves mapping selection" what
+
+let resolve = function
+  | Protocol.Inline text -> (
+    match Serialize.Parser.parse text with
+    | Ok doc -> of_document doc
+    | Error e ->
+      fail Protocol.Bad_scenario "scenario: %s"
+        (Format.asprintf "%a" Serialize.Parser.pp_error e))
+  | Protocol.File path when Filename.check_suffix path ".scn" -> (
+    match Fuzz.Corpus.load path with
+    | Ok entry -> of_case ~what:path entry.Fuzz.Corpus.case.Fuzz.Case.payload
+    | Error msg -> fail Protocol.Bad_scenario "%s" msg)
+  | Protocol.File path -> (
+    match Serialize.Parser.parse_file path with
+    | Ok doc -> of_document doc
+    | Error e ->
+      fail Protocol.Bad_scenario "%s: %s" path
+        (Format.asprintf "%a" Serialize.Parser.pp_error e)
+    | exception Sys_error msg -> fail Protocol.Bad_scenario "%s" msg)
+  | Protocol.Case_seed seed ->
+    let case = Fuzz.Gen.case ~seed in
+    of_case
+      ~what:(Printf.sprintf "case_seed %d (tag %s)" seed case.Fuzz.Case.tag)
+      case.Fuzz.Case.payload
+
+(* --- solving ------------------------------------------------------------ *)
+
+let frac f =
+  Json.Obj
+    [
+      ("num", Json.Num (float_of_int (Util.Frac.num f)));
+      ("den", Json.Num (float_of_int (Util.Frac.den f)));
+    ]
+
+let emit progress ~event ?name ?dur_ns () =
+  match progress with None -> () | Some p -> p ~event ?name ?dur_ns ()
+
+let solve t ~progress (p : Protocol.solve_params) =
+  let impl =
+    match Core.Solver.find p.Protocol.solver with
+    | Some s -> s
+    | None ->
+      fail (Protocol.Unknown_solver p.Protocol.solver)
+        "unknown solver %S (known: %s)" p.Protocol.solver
+        (String.concat ", " (Core.Solver.names ()))
+  in
+  emit progress ~event:"started" ();
+  let r = resolve p.Protocol.scenario in
+  let weights =
+    match p.Protocol.weights with Some w -> w | None -> r.scenario_weights
+  in
+  let problem =
+    Core.Problem.make ~weights ~cache:t.cache ~source:r.source ~j:r.j
+      r.candidates
+  in
+  let digest = Core.Problem.digest problem in
+  emit progress ~event:"resolved" ~name:digest ();
+  let seed = p.Protocol.seed in
+  let selection =
+    Cache.selection t.cache ~solver:(Core.Solver.name impl) ~seed
+      ~problem_key:digest (fun () ->
+        Atomic.incr t.solves;
+        Core.Solver.solve impl ?seed problem)
+  in
+  let b = Core.Objective.breakdown problem selection in
+  emit progress ~event:"done" ();
+  Json.Obj
+    [
+      ("solver", Json.Str (Core.Solver.name impl));
+      ("digest", Json.Str digest);
+      ("candidates", Json.Num (float_of_int (Core.Problem.num_candidates problem)));
+      ("tuples", Json.Num (float_of_int (Core.Problem.num_tuples problem)));
+      ( "selection",
+        Json.List
+          (List.map
+             (fun i -> Json.Num (float_of_int i))
+             (Core.Problem.indices_of_selection selection)) );
+      ( "objective",
+        Json.Obj
+          [
+            ("total", frac b.Core.Objective.total);
+            ("unexplained", frac b.Core.Objective.unexplained);
+            ("errors", Json.Num (float_of_int b.Core.Objective.errors));
+            ("size", Json.Num (float_of_int b.Core.Objective.size));
+          ] );
+    ]
+
+let handle t ?progress (req : Protocol.request) =
+  let id = req.Protocol.id in
+  match req.Protocol.call with
+  | Protocol.Ping -> Protocol.Result { id; body = Json.Obj [ ("pong", Json.Bool true) ] }
+  | Protocol.Stats -> Protocol.Result { id; body = stats_body t ~extra:[] }
+  | Protocol.Shutdown ->
+    Protocol.Result { id; body = Json.Obj [ ("stopping", Json.Bool true) ] }
+  | Protocol.Solve p -> (
+    Atomic.incr t.handled;
+    let progress = if p.Protocol.progress then progress else None in
+    match solve t ~progress p with
+    | body ->
+      Atomic.incr t.ok;
+      Protocol.Result { id; body }
+    | exception Fail (kind, message) ->
+      Atomic.incr t.errors;
+      Protocol.Error { id; kind; message }
+    | exception exn ->
+      Atomic.incr t.errors;
+      Protocol.Error
+        { id; kind = Protocol.Internal; message = Printexc.to_string exn })

@@ -1,0 +1,98 @@
+(* Batch fan-out.
+
+   Progress routing: Telemetry's span tap reports (domain, name, dur) on
+   every span close. One domain runs one request at a time, so a
+   domain-indexed table of emitters attributes each close to the in-flight
+   request of that domain; workers register themselves around the engine
+   call. The table is shared mutable state touched from workers —
+   mutex-protected, and the emitter itself sends through the job's
+   (already serialised) connection writer. *)
+
+type job = {
+  key : string;
+  request : Protocol.request;
+  send : string -> unit;
+  deadline_at_ns : int64 option;
+}
+
+let routes : (int, string -> int64 -> unit) Hashtbl.t = Hashtbl.create 16
+
+let routes_lock = Mutex.create ()
+
+let with_routes f =
+  Mutex.lock routes_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock routes_lock) f
+
+let tap ~domain ~name ~dur_ns =
+  match with_routes (fun () -> Hashtbl.find_opt routes domain) with
+  | Some emit -> emit name dur_ns
+  | None -> ()
+
+let tap_installed = Atomic.make false
+
+let install_tap () =
+  if not (Atomic.exchange tap_installed true) then
+    Telemetry.set_span_tap (Some tap)
+
+let wants_progress job =
+  match job.request.Protocol.call with
+  | Protocol.Solve p -> p.Protocol.progress
+  | _ -> false
+
+let run_job engine job =
+  let id = job.request.Protocol.id in
+  let progress ~event ?name ?dur_ns () =
+    job.send (Protocol.render_progress ~id ~event ?name ?dur_ns ())
+  in
+  let routed = wants_progress job in
+  let domain = (Domain.self () :> int) in
+  if routed then
+    with_routes (fun () ->
+        Hashtbl.replace routes domain (fun name dur_ns ->
+            progress ~event:"span" ~name ~dur_ns ()));
+  Fun.protect
+    ~finally:(fun () ->
+      if routed then with_routes (fun () -> Hashtbl.remove routes domain))
+    (fun () -> Engine.handle engine ~progress job.request)
+
+let run_batch engine ~pool jobs =
+  let now = Util.Timer.now_ns () in
+  let expired, live =
+    List.partition
+      (fun job ->
+        match job.deadline_at_ns with
+        | Some d -> Int64.compare d now < 0
+        | None -> false)
+      jobs
+  in
+  List.iter
+    (fun job ->
+      job.send
+        (Protocol.render_response
+           (Protocol.Error
+              {
+                id = job.request.Protocol.id;
+                kind = Protocol.Deadline_exceeded;
+                message = "deadline passed while queued";
+              })))
+    expired;
+  (* Sort by content key (ties keep arrival order) so identical requests
+     are adjacent for the cache's single-flight tier; remember arrival
+     positions to reply in arrival order. *)
+  let indexed = Array.of_list (List.mapi (fun i job -> (i, job)) live) in
+  let sorted = Array.copy indexed in
+  Array.sort
+    (fun (i, a) (j, b) ->
+      match String.compare a.key b.key with 0 -> compare i j | c -> c)
+    sorted;
+  let responses =
+    Parallel.Pool.parallel_map pool
+      (fun (i, job) -> (i, Protocol.render_response (run_job engine job)))
+      sorted
+  in
+  Array.sort (fun (i, _) (j, _) -> compare i j) responses;
+  Array.iter
+    (fun (i, line) ->
+      let _, job = indexed.(i) in
+      job.send line)
+    responses

@@ -169,9 +169,18 @@ let tree_len = ref 0
 
 let tree_dropped = ref 0
 
+type span_tap = domain:int -> name:string -> dur_ns:int64 -> unit
+
+let span_tap : span_tap option Atomic.t = Atomic.make None
+
+let set_span_tap tap = Atomic.set span_tap tap
+
 let close_span ~attrs (s : open_span) ~stop =
   let dur = Int64.sub stop s.sp_start in
   let domain = (Domain.self () :> int) in
+  (match Atomic.get span_tap with
+  | None -> ()
+  | Some tap -> ( try tap ~domain ~name:s.sp_name ~dur_ns:dur with _ -> ()));
   locked state_mutex (fun () ->
       (match Hashtbl.find_opt span_aggs s.sp_name with
       | Some a ->

@@ -109,6 +109,16 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     exception is propagated untouched. When telemetry is disabled this is
     exactly [f ()] after one branch. *)
 
+val set_span_tap :
+  (domain:int -> name:string -> dur_ns:int64 -> unit) option -> unit
+(** Installs (or removes) a process-global listener invoked once per closed
+    span, from the closing domain, after aggregates are updated. Built for
+    live progress streaming (the mapping-selection server forwards span
+    closes as progress notifications): because one domain closes one span
+    at a time, a consumer can attribute events to in-flight work by
+    [domain]. The tap only fires while telemetry is enabled; exceptions it
+    raises are swallowed — observation must never change results. *)
+
 (** {2 Sinks and lifecycle} *)
 
 val set_human : out_channel option -> unit

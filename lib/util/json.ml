@@ -89,7 +89,34 @@ let to_string_pretty v = render ~indent:true v
 
 exception Parse_error of int * string
 
-let of_string s =
+type error = {
+  line : int;
+  column : int;
+  offset : int;
+  message : string;
+}
+
+(* Positions are derived from the byte offset only when a parse actually
+   fails, so the happy path never pays for line accounting. *)
+let locate s offset =
+  let offset = min offset (String.length s) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol + 1)
+
+let error_at s offset message =
+  let line, column = locate s offset in
+  { line; column; offset; message }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
+
+let parse_exn s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
@@ -249,15 +276,35 @@ let of_string s =
     | Some 'n' -> literal "null" Null
     | Some _ -> Num (parse_number ())
   in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing content after value";
-    v
-  with
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content after value";
+  v
+
+let parse s =
+  match parse_exn s with
   | v -> Ok v
-  | exception Parse_error (at, msg) ->
-    Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+  | exception Parse_error (at, msg) -> Error (error_at s at msg)
+
+let parse_line s =
+  (* strip exactly one frame terminator; everything else must be one line *)
+  let n = String.length s in
+  let n = if n > 0 && s.[n - 1] = '\n' then n - 1 else n in
+  let n = if n > 0 && s.[n - 1] = '\r' then n - 1 else n in
+  let s = String.sub s 0 n in
+  match String.index_opt s '\n' with
+  | Some i -> Error (error_at s i "newline inside NDJSON frame")
+  | None ->
+    if String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) s then
+      Error (error_at s 0 "blank NDJSON frame")
+    else parse s
+
+let of_string s =
+  match parse s with
+  | Ok v -> Ok v
+  | Error e ->
+    Error
+      (Format.asprintf "JSON parse error at offset %d (%a)" e.offset pp_error e)
 
 let load path =
   match

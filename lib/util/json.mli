@@ -24,9 +24,32 @@ val to_string_pretty : t -> string
 (** Two-space-indented rendering, for committed artifacts that humans
     diff. Same [Invalid_argument] behaviour as {!to_string}. *)
 
-val of_string : string -> (t, string) result
+type error = {
+  line : int;  (** 1-based line of the offending character *)
+  column : int;  (** 1-based column within that line *)
+  offset : int;  (** 0-based byte offset into the input *)
+  message : string;
+}
+(** A parse error, always positioned: every rejected input names the line
+    and column where parsing stopped (property-tested in
+    [test/test_json.ml]). *)
+
+val pp_error : Format.formatter -> error -> unit
+(** ["line L, column C: message"]. *)
+
+val parse : string -> (t, error) result
 (** Parses one JSON value (surrounding whitespace allowed; trailing
-    garbage is an error). Error strings include a character offset. *)
+    garbage is an error), reporting failures with their position. *)
+
+val parse_line : string -> (t, error) result
+(** {!parse} for one NDJSON frame: at most one trailing [\n] (optionally
+    preceded by [\r]) is stripped, and any other newline in the input is
+    an error — a frame is exactly one line. The empty (or blank) frame is
+    an error too; NDJSON readers skip blank lines before framing. *)
+
+val of_string : string -> (t, string) result
+(** {!parse} with the error rendered as a string (includes line, column
+    and byte offset). *)
 
 val load : string -> (t, string) result
 (** Reads and parses a file; the error string includes the path (a missing

@@ -25,26 +25,29 @@ let syn : Report.t =
         };
       ];
     cache =
-      {
-        Report.uncached_ms = 5.;
-        cold_ms = 6.;
-        warm_ms = 1.;
-        warm_speedup = 5.;
-        hits = 2;
-        misses = 4;
-        evictions = 0;
-        hit_rate = 0.25;
-        bit_identical = true;
-        c_at_ms = 3.;
-      };
+      Some
+        {
+          Report.uncached_ms = 5.;
+          cold_ms = 6.;
+          warm_ms = 1.;
+          warm_speedup = 5.;
+          hits = 2;
+          misses = 4;
+          evictions = 0;
+          hit_rate = 0.25;
+          bit_identical = true;
+          c_at_ms = 3.;
+        };
     telemetry =
-      {
-        Report.disabled_ms = 1.;
-        enabled_ms = 1.1;
-        overhead_pct = 10.;
-        within_budget = false;
-        t_at_ms = 4.;
-      };
+      Some
+        {
+          Report.disabled_ms = 1.;
+          enabled_ms = 1.1;
+          overhead_pct = 10.;
+          within_budget = false;
+          t_at_ms = 4.;
+        };
+    server = None;
   }
 
 let test_roundtrip () =
@@ -59,7 +62,13 @@ let test_validate_clean () =
 let test_validate_catches_splicing () =
   (* timestamps out of order mean the file is not from one run *)
   let bad =
-    { syn with Report.telemetry = { syn.Report.telemetry with t_at_ms = 0.5 } }
+    {
+      syn with
+      Report.telemetry =
+        Option.map
+          (fun t -> { t with Report.t_at_ms = 0.5 })
+          syn.Report.telemetry;
+    }
   in
   Alcotest.(check bool) "non-monotone at_ms flagged" true
     (Report.validate bad <> [])
@@ -113,6 +122,103 @@ let test_gate_flags_missing_ratio () =
   let fresh = { syn with Report.ratios = [ { r_name = "other"; value = 9. } ] } in
   Alcotest.(check bool) "missing baseline ratio flagged" true
     (Report.gate ~baseline:syn ~fresh () <> [])
+
+(* --- schema v2: the server section --------------------------------------- *)
+
+let syn_server : Report.t =
+  {
+    Report.schema_version = 2;
+    bench = 7;
+    jobs = 4;
+    kernels = [];
+    ratios =
+      [
+        { Report.r_name = "server.throughput-rps"; value = 800. };
+        { Report.r_name = "server.p50-rps"; value = 200. };
+        { Report.r_name = "server.p99-rps"; value = 25. };
+      ];
+    pool = [];
+    cache = None;
+    telemetry = None;
+    server =
+      Some
+        {
+          Report.requests = 1000;
+          concurrency = 8;
+          p50_ms = 5.;
+          p99_ms = 40.;
+          mean_ms = 9.;
+          throughput_rps = 800.;
+          shed = 0;
+          coalesced = 750;
+          s_identical = true;
+          s_at_ms = 1500.;
+        };
+  }
+
+let test_v2_server_roundtrip () =
+  match Report.of_json (Report.to_json syn_server) with
+  | Ok r -> Alcotest.(check bool) "round-trips exactly" true (r = syn_server)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_v2_server_validates () =
+  Alcotest.(check (list string)) "no issues" [] (Report.validate syn_server)
+
+let test_v1_rejects_server_section () =
+  let bad = { syn with Report.server = syn_server.Report.server } in
+  Alcotest.(check bool) "server section is v2-only" true
+    (Report.validate bad <> [])
+
+let test_v2_requires_some_section () =
+  let bad = { syn_server with Report.server = None } in
+  Alcotest.(check bool) "kernel-less report needs a server section" true
+    (Report.validate bad <> [])
+
+let test_v2_flags_inverted_percentiles () =
+  let bad =
+    {
+      syn_server with
+      Report.server =
+        Option.map
+          (fun s -> { s with Report.p50_ms = 50.; p99_ms = 5. })
+          syn_server.Report.server;
+    }
+  in
+  Alcotest.(check bool) "p50 > p99 flagged" true (Report.validate bad <> [])
+
+let test_gate_requires_server_section () =
+  let fresh = { syn_server with Report.server = None } in
+  Alcotest.(check bool) "fresh must keep the baseline's sections" true
+    (Report.gate ~baseline:syn_server ~fresh () <> [])
+
+let test_gate_flags_lost_server_identity () =
+  let fresh =
+    {
+      syn_server with
+      Report.server =
+        Option.map
+          (fun s -> { s with Report.s_identical = false })
+          syn_server.Report.server;
+    }
+  in
+  Alcotest.(check bool) "response identity loss flagged" true
+    (Report.gate ~baseline:syn_server ~fresh () <> [])
+
+let test_gate_flags_latency_regression () =
+  let fresh =
+    {
+      syn_server with
+      Report.ratios =
+        List.map
+          (fun r ->
+            if r.Report.r_name = "server.p99-rps" then
+              { r with Report.value = r.Report.value /. 10. }
+            else r)
+          syn_server.Report.ratios;
+    }
+  in
+  Alcotest.(check bool) "10x p99 regression flagged" true
+    (Report.gate ~band:3.0 ~baseline:syn_server ~fresh () <> [])
 
 (* --- the committed trajectory -------------------------------------------- *)
 
@@ -187,6 +293,25 @@ let () =
             test_gate_flags_lost_identity;
           Alcotest.test_case "flags a missing ratio" `Quick
             test_gate_flags_missing_ratio;
+        ] );
+      ( "server-v2",
+        [
+          Alcotest.test_case "v2 JSON round trip" `Quick
+            test_v2_server_roundtrip;
+          Alcotest.test_case "v2 server report validates" `Quick
+            test_v2_server_validates;
+          Alcotest.test_case "v1 rejects a server section" `Quick
+            test_v1_rejects_server_section;
+          Alcotest.test_case "v2 needs kernels or server" `Quick
+            test_v2_requires_some_section;
+          Alcotest.test_case "inverted percentiles flagged" `Quick
+            test_v2_flags_inverted_percentiles;
+          Alcotest.test_case "gate keeps the server section" `Quick
+            test_gate_requires_server_section;
+          Alcotest.test_case "gate flags lost response identity" `Quick
+            test_gate_flags_lost_server_identity;
+          Alcotest.test_case "gate flags a p99 regression" `Quick
+            test_gate_flags_latency_regression;
         ] );
       ( "committed",
         [
