@@ -168,6 +168,20 @@ let cq_indexed_fixture =
     (let inst, q = Lazy.force cq_fixture in
      (Logic.Cq.Index.build inst, q))
 
+(* The same ME source dictionary-encoded: the columnar CQ/chase kernels run
+   the exact workload of their row-major counterparts (bit-identical
+   results), so the relational ratios below compare representation cost
+   only. *)
+let columnar_fixture =
+  lazy
+    (let s = Lazy.force me_scenario in
+     (s, Relational.Columnar.of_instance s.Ibench.Scenario.instance_i))
+
+let cq_columnar_fixture =
+  lazy
+    (let inst, q = Lazy.force cq_fixture in
+     (Relational.Columnar.of_instance inst, q))
+
 let egd_fixture =
   lazy
     (let entry = Option.get (Scenarios.Zoo.find "hr") in
@@ -322,6 +336,20 @@ let tests =
         (stage (fun () ->
              let s = Lazy.force me_scenario in
              Chase.Implication.minimize s.Ibench.Scenario.candidates));
+      (* relational kernels: the dictionary-encoded column store against
+         the row-major counterparts (substrate-cq-indexed, substrate-chase) *)
+      Test.make ~name:"relational-columnar-build"
+        (stage (fun () ->
+             let s = Lazy.force me_scenario in
+             Relational.Columnar.of_instance s.Ibench.Scenario.instance_i));
+      Test.make ~name:"relational-cq-columnar"
+        (stage (fun () ->
+             let col, q = Lazy.force cq_columnar_fixture in
+             Logic.Cq.Columnar.answers col q));
+      Test.make ~name:"relational-chase-columnar"
+        (stage (fun () ->
+             let s, col = Lazy.force columnar_fixture in
+             Chase.run_columnar col s.Ibench.Scenario.ground_truth));
     ]
 
 let benchmark () =
@@ -511,6 +539,30 @@ let telemetry_overhead () =
     t_at_ms = at_ms ();
   }
 
+(* How much the core stage shrinks K_M on the E6-scale scenario (all iBench
+   primitive families, joins included): total trigger tuples produced
+   across candidates, uncored over cored. The gate holds this ratio to
+   >= 1.0 unconditionally — coring must never grow K_M — and to the
+   baseline floor like every other ratio. *)
+let core_shrink () =
+  Format.printf "@.=====================================================@.";
+  Format.printf " Core universal solutions: K_M shrink on E6@.";
+  Format.printf "=====================================================@.";
+  let s, _ = Lazy.force cache_fixture in
+  let produced core =
+    Array.fold_left
+      (fun n x -> n + x.Cover.produced)
+      0
+      (Cover.analyze ~core ~source:s.Ibench.Scenario.instance_i
+         ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates)
+  in
+  let plain = produced false in
+  let cored = produced true in
+  let shrink = float_of_int plain /. float_of_int cored in
+  Format.printf "K_M produced: uncored %d   cored %d   core.km_shrink %.3fx@."
+    plain cored shrink;
+  { Perf.Report.r_name = "core.km_shrink"; value = shrink }
+
 (* The derived bigger-is-better numbers the CI gate tracks: kernel-pair
    speedups from the OLS estimates plus the cache and pool speedups. A pair
    whose estimates are missing is dropped (the gate reports it as a missing
@@ -536,6 +588,10 @@ let derive_ratios rows pool cache =
   @ ratio "cq-plain-over-indexed" "substrate-cq-plain" "substrate-cq-indexed"
   @ ratio "cache-build-cold-over-warm" "cache-problem-build-cold"
       "cache-problem-build-warm"
+  @ ratio "cq-indexed-over-columnar" "substrate-cq-indexed"
+      "relational-cq-columnar"
+  @ ratio "chase-row-over-columnar" "substrate-chase"
+      "relational-chase-columnar"
   @ [
       {
         Perf.Report.r_name = "cache-warm-speedup";
@@ -596,6 +652,7 @@ let () =
   let kernels_at = at_ms () in
   let pool = parallel_speedup () in
   let cache = cache_speedup () in
+  let shrink = core_shrink () in
   let telemetry = telemetry_overhead () in
   match !json_path with
   | None -> ()
@@ -612,10 +669,10 @@ let () =
     let report =
       {
         Perf.Report.schema_version = 1;
-        bench = 6;
+        bench = 8;
         jobs = 4;
         kernels;
-        ratios = derive_ratios rows pool cache;
+        ratios = derive_ratios rows pool cache @ [ shrink ];
         pool;
         cache = Some cache;
         telemetry = Some telemetry;

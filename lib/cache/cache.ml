@@ -437,10 +437,15 @@ let sync t =
 let data_key ~source ~j =
   Key.digest [ "data"; Key.instance source; Key.instance j ]
 
-let tgd_stats t ?(semantics = Cover.Corroborated) ~data_key ~index tgd compute
-    =
+let tgd_stats t ?(semantics = Cover.Corroborated) ?(core = false) ~data_key
+    ~index tgd compute =
+  (* the core flag joins the key only when set, so uncored entries keep
+     their historical keys (warm disk tiers stay valid) while cored and
+     uncored stats can never collide *)
   let key =
-    Key.digest [ "stats"; Key.semantics semantics; Key.tgd tgd; data_key ]
+    Key.digest
+      (("stats" :: Key.semantics semantics :: (if core then [ "core" ] else []))
+      @ [ Key.tgd tgd; data_key ])
   in
   let payload =
     lookup t key

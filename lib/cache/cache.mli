@@ -108,14 +108,19 @@ val data_key :
 val tgd_stats :
   t ->
   ?semantics : Cover.semantics ->
+  ?core : bool ->
   data_key : string ->
   index : int ->
   Logic.Tgd.t ->
   (unit -> Cover.tgd_stats) ->
   Cover.tgd_stats
 (** [tgd_stats t ~data_key ~index tgd compute] is [compute ()] memoized
-    under the digest of [(semantics, tgd, data_key)], with [data_key] from
-    {!data_key} on the example [compute] evaluates against. The stored
+    under the digest of [(semantics, core, tgd, data_key)], with [data_key]
+    from {!data_key} on the example [compute] evaluates against. The [core]
+    flag (default [false]) must say whether [compute] runs the core stage
+    ({!Cover.stats_of_result}): cored statistics differ from uncored ones
+    on the same example, so the flag is part of the key — uncored entries
+    keep their historical keys, and the two can never collide. The stored
     value is normalised to candidate position 0 and returned re-indexed at
     [index], so one cached analysis serves a candidate wherever it appears
     in a list. [compute] must derive its result from exactly the keyed

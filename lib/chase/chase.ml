@@ -1,4 +1,5 @@
 include Engine
+module Core_solution = Core_solution
 module Implication = Implication
 module Certain = Certain
 module Egd = Egd

@@ -52,6 +52,18 @@ val universal_solution :
   Relational.Instance.t
 (** Just the instance part of {!run}. *)
 
+val run_columnar :
+  ?nulls : Relational.Null_source.t ->
+  Relational.Columnar.t ->
+  Logic.Tgd.t list ->
+  result
+(** The chase over a columnar source. Byte-identical to {!run} on the
+    corresponding row-major instance — the columnar evaluator enumerates
+    body homomorphisms in the row-major order, so triggers fire in the same
+    sequence and draw the same null labels (the [columnar-identity] fuzz
+    family holds every build to this). Build the columnar instance once
+    with {!Relational.Columnar.of_instance} and chase it per candidate. *)
+
 val check_result :
   source : Relational.Instance.t -> result -> (unit, string) Stdlib.result
 (** Verifies the internal invariants of a chase result: the solution is the
@@ -75,6 +87,9 @@ val satisfies_all :
   target : Relational.Instance.t ->
   Logic.Tgd.t list ->
   bool
+
+(** Core universal solutions (see {!Core_solution}). *)
+module Core_solution : module type of Core_solution
 
 (** Logical implication between st tgds (see {!Implication}). *)
 module Implication : module type of Implication

@@ -67,28 +67,35 @@ let with_weights t weights =
   in
   { t with cand_cost; weights }
 
-let make ?weights ?semantics ?cache ~source ~j candidates =
+let make ?weights ?semantics ?(core = false) ?cache ~source ~j candidates =
   let stats =
     match cache with
-    | None -> Cover.analyze ?semantics ~source ~j candidates
+    | None -> Cover.analyze ?semantics ~core ~source ~j candidates
     | Some cache ->
       (* Same per-candidate derivation as [Cover.analyze], each candidate
-         memoized separately: one shared source index, a fresh chase per
-         tgd. The chase restarts its null labels per run, so the cached
-         stats are position-independent and [Cache.tgd_stats] can re-index
-         them for this candidate list. The data digest is computed once
-         and the index lazily — a fully warm build touches neither the
+         memoized separately: one shared columnar source (or row-major
+         index on the mixed-arity fallback), a fresh chase per tgd. The
+         chase restarts its null labels per run, so the cached stats are
+         position-independent and [Cache.tgd_stats] can re-index them for
+         this candidate list. The data digest is computed once and the
+         chase fixture lazily — a fully warm build touches neither the
          chase nor the source data beyond this one rendering. *)
       let data_key = Cache.data_key ~source ~j in
-      let source_index = lazy (Logic.Cq.Index.build source) in
+      let chase =
+        lazy
+          (match Relational.Columnar.of_instance source with
+          | col -> fun tgd -> Chase.run_columnar col [ tgd ]
+          | exception Invalid_argument _ ->
+            let index = Logic.Cq.Index.build source in
+            fun tgd -> Chase.run ~index source [ tgd ])
+      in
       Array.of_list
         (List.mapi
            (fun index tgd ->
-             Cache.tgd_stats cache ?semantics ~data_key ~index tgd (fun () ->
-                 let { Chase.triggers; _ } =
-                   Chase.run ~index:(Lazy.force source_index) source [ tgd ]
-                 in
-                 Cover.stats_of_triggers ?semantics ~j ~index tgd triggers))
+             Cache.tgd_stats cache ?semantics ~core ~data_key ~index tgd
+               (fun () ->
+                 Cover.stats_of_result ?semantics ~core ~j ~index tgd
+                   ((Lazy.force chase) tgd)))
            candidates)
   in
   of_stats ?weights ~j stats

@@ -32,6 +32,7 @@ type t = {
 val make :
   ?weights : weights ->
   ?semantics : Cover.semantics ->
+  ?core : bool ->
   ?cache : Cache.t ->
   source : Relational.Instance.t ->
   j : Relational.Instance.t ->
@@ -39,11 +40,14 @@ val make :
   t
 (** Builds the problem from a data example and candidate list. [semantics]
     selects the coverage semantics (default the paper's corroborated Eq. 9;
-    the others are ablation variants). With [cache], each candidate's chase
-    and coverage statistics are memoized content-addressed (bit-identical
-    to the uncached analysis; the cached stats are weight-independent, so
-    any weights share the entries). Raises [Invalid_argument] on
-    non-positive weights. *)
+    the others are ablation variants). [core] (default [false]) shrinks each
+    candidate's chased target to its core universal solution before the
+    coverage fold ({!Cover.stats_of_result}) — fewer produced tuples and
+    errors, hence a different (not bit-identical) problem, cached under
+    core-flagged keys. With [cache], each candidate's chase and coverage
+    statistics are memoized content-addressed (bit-identical to the uncached
+    analysis; the cached stats are weight-independent, so any weights share
+    the entries). Raises [Invalid_argument] on non-positive weights. *)
 
 val digest : t -> string
 (** A content digest of the full problem (weights, target tuples, per

@@ -56,17 +56,39 @@ let maps_into pattern inst =
 
 (* --- per-trigger-group analysis --------------------------------------- *)
 
+(* J interned once per analysis: per-relation tuple arrays in canonical
+   order. The homomorphism search used to call [Instance.tuples_of] and
+   re-materialise the relation's tuple set per probe — per group tuple per
+   trigger per configuration — which dominated [stats_of_triggers] on wide
+   groups. The arrays are built once and shared by every probe below. *)
+type j_interned = (string, Tuple.t array) Hashtbl.t
+
+let intern_j j : j_interned =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun rel ->
+      Hashtbl.replace tbl rel
+        (Array.of_list (Tuple.Set.elements (Instance.tuples_of j rel))))
+    (Instance.relations j);
+  tbl
+
+let interned_rel (jx : j_interned) rel =
+  Option.value ~default:[||] (Hashtbl.find_opt jx rel)
+
 (* All J-tuples a group tuple can individually map onto, with the null
-   assignment each match induces. *)
-let options_of ~j (pattern : Tuple.t) =
-  Tuple.Set.fold
-    (fun t acc ->
+   assignment each match induces, in canonical J order. *)
+let options_of ~jx (pattern : Tuple.t) =
+  Array.fold_left
+    (fun acc t ->
       match match_with ~assignment:Value.Map.empty ~pattern t with
       | None -> acc
       | Some asg -> (t, asg) :: acc)
-    (Instance.tuples_of j pattern.Tuple.rel)
     []
+    (interned_rel jx pattern.Tuple.rel)
   |> List.rev
+
+let maps_into_interned (jx : j_interned) pattern =
+  Array.exists (fun t -> matches ~pattern t) (interned_rel jx pattern.Tuple.rel)
 
 (* Merge two null assignments; [None] on conflict. *)
 let merge_assignments a b =
@@ -109,9 +131,9 @@ let degree_of ~semantics ~group ~matched i =
    per-target-tuple maximum coverage into [acc]. A configuration assigns each
    group tuple either to a J-tuple (consistently with the shared nulls) or to
    "unmatched". *)
-let fold_group_covers ~semantics ~j group acc =
+let fold_group_covers ~semantics ~jx group acc =
   let n = Array.length group in
-  let options = Array.map (fun pattern -> options_of ~j pattern) group in
+  let options = Array.map (fun pattern -> options_of ~jx pattern) group in
   let best : (Tuple.t * Frac.t) list ref = ref [] in
   let record t d =
     best := (t, d) :: !best
@@ -157,15 +179,16 @@ let fold_group_covers ~semantics ~j group acc =
     acc !best
 
 let stats_of_triggers ?(semantics = Corroborated) ~j ~index tgd triggers =
+  let jx = intern_j j in
   let covers, errors, produced =
     List.fold_left
       (fun (covers, errors, produced) (tr : Chase.Trigger.t) ->
         let group = Array.of_list tr.Chase.Trigger.tuples in
-        let covers = fold_group_covers ~semantics ~j group covers in
+        let covers = fold_group_covers ~semantics ~jx group covers in
         let errors =
           Array.fold_left
             (fun errs pattern ->
-              if maps_into pattern j then errs else pattern :: errs)
+              if maps_into_interned jx pattern then errs else pattern :: errs)
             errors group
         in
         (covers, errors, produced + Array.length group))
@@ -174,11 +197,41 @@ let stats_of_triggers ?(semantics = Corroborated) ~j ~index tgd triggers =
   in
   { index; tgd; covers; error_tuples = List.rev errors; produced; size = Tgd.size tgd }
 
-let analyze ?semantics ~source ~j tgds =
-  let source_index = Logic.Cq.Index.build source in
+(* Keep only the trigger tuples that survive into the core of the chased
+   target; a trigger whose whole group was retracted away disappears. With
+   coring on, coverage and errors are computed against the core universal
+   solution, so redundant chase tuples stop inflating [K_M] (and stop
+   counting as errors) — which is why cored stats are cached under their
+   own key and pinned by their own goldens. *)
+let core_triggers (result : Chase.result) =
+  let c = Chase.Core_solution.core result.Chase.solution in
+  if Instance.equal c result.Chase.solution then result.Chase.triggers
+  else
+    List.filter_map
+      (fun (tr : Chase.Trigger.t) ->
+        match List.filter (fun t -> Instance.mem t c) tr.Chase.Trigger.tuples with
+        | [] -> None
+        | tuples -> Some { tr with Chase.Trigger.tuples })
+      result.Chase.triggers
+
+let stats_of_result ?semantics ?(core = false) ~j ~index tgd result =
+  let triggers =
+    if core then core_triggers result else result.Chase.triggers
+  in
+  stats_of_triggers ?semantics ~j ~index tgd triggers
+
+let analyze ?semantics ?(core = false) ~source ~j tgds =
+  (* the columnar chase is bit-identical to the row-major one; only a
+     mixed-arity relation (expressible row-major, not columnar) falls back *)
+  let chase =
+    match Columnar.of_instance source with
+    | col -> fun tgd -> Chase.run_columnar col [ tgd ]
+    | exception Invalid_argument _ ->
+      let source_index = Logic.Cq.Index.build source in
+      fun tgd -> Chase.run ~index:source_index source [ tgd ]
+  in
   let stats_of index tgd =
-    let { Chase.triggers; _ } = Chase.run ~index:source_index source [ tgd ] in
-    stats_of_triggers ?semantics ~j ~index tgd triggers
+    stats_of_result ?semantics ~core ~j ~index tgd (chase tgd)
   in
   Array.of_list (List.mapi stats_of tgds)
 

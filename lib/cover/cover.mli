@@ -64,15 +64,33 @@ val stats_of_triggers :
 (** Statistics of one tgd from its chase triggers. The triggers must all
     belong to the given tgd. *)
 
+val stats_of_result :
+  ?semantics : semantics ->
+  ?core : bool ->
+  j : Relational.Instance.t ->
+  index : int ->
+  Logic.Tgd.t ->
+  Chase.result ->
+  tgd_stats
+(** Statistics of one tgd from its chase result. With [~core:true] the
+    chased target is first shrunk to its core universal solution
+    ({!Chase.Core_solution}): trigger tuples retracted away by the core are
+    dropped before coverage and errors are computed, so [produced] counts
+    the cored [K_M]. The default ([false]) is {!stats_of_triggers} on the
+    result's triggers, bit-identical to the historical pipeline. *)
+
 val analyze :
   ?semantics : semantics ->
+  ?core : bool ->
   source : Relational.Instance.t ->
   j : Relational.Instance.t ->
   Logic.Tgd.t list ->
   tgd_stats array
 (** Chases [source] with each candidate separately and computes statistics
     for each; [analyze] is the precomputation step of the selection
-    pipeline. *)
+    pipeline. The chase runs on the columnar kernel (bit-identical to the
+    row-major chase; mixed-arity relations fall back to it), and
+    [~core:true] applies the {!stats_of_result} core stage per candidate. *)
 
 val explains : tgd_stats list -> Relational.Tuple.t -> Util.Frac.t
 (** [explains stats t] is the maximum coverage degree of [t] over the given

@@ -20,6 +20,7 @@ type test = {
   seed : int option;
   weights : (int * int * int) option;
   cache : bool;
+  core : bool;
   expects : expectation list;
   flag : flag option;
 }
@@ -42,6 +43,7 @@ let equal_test a b =
   && a.seed = b.seed
   && a.weights = b.weights
   && a.cache = b.cache
+  && a.core = b.core
   && List.equal equal_expectation a.expects b.expects
   && a.flag = b.flag
 
@@ -164,6 +166,7 @@ type builder = {
   mutable b_seed : int option;
   mutable b_weights : (int * int * int) option;
   mutable b_cache : bool;
+  mutable b_core : bool;
   mutable b_expects : expectation list;  (** reversed *)
   mutable b_flag : flag option;
 }
@@ -194,6 +197,7 @@ let finish b =
     seed = b.b_seed;
     weights = b.b_weights;
     cache = b.b_cache;
+    core = b.b_core;
     expects;
     flag = b.b_flag;
   }
@@ -257,6 +261,7 @@ let parse text =
                    b_seed = None;
                    b_weights = None;
                    b_cache = false;
+                   b_core = false;
                    b_expects = [];
                    b_flag = None;
                  }
@@ -298,6 +303,13 @@ let parse text =
                match tokens ln rest with
                | [ "on" ] -> b.b_cache <- true
                | _ -> failf ln "'cache' takes exactly 'on'")
+         | "core" ->
+           set_once ln "core"
+             (fun b -> b.b_core)
+             (fun b ->
+               match tokens ln rest with
+               | [ "on" ] -> b.b_core <- true
+               | _ -> failf ln "'core' takes exactly 'on'")
          | "scenario" ->
            set_once ln "scenario"
              (fun b -> b.b_scenario <> None)
@@ -425,6 +437,7 @@ let print_test buf t =
   | Some (w1, w2, w3) -> line "weights %d %d %d" w1 w2 w3
   | None -> ());
   if t.cache then line "cache on";
+  if t.core then line "core on";
   (match t.scenario with
   | File path -> line "scenario file %s" (render_token path)
   | Inline body ->

@@ -37,6 +37,11 @@
     - [cache on] — additionally build the problem and solve through a
       fresh evaluation cache, cold and warm, and fail unless digests and
       selections are byte-identical to the uncached run.
+    - [core on] — build the problem with [~core:true]
+      ({!Core.Problem.make}): each candidate's chased target is shrunk to
+      its core universal solution before coverage statistics are
+      computed. Off by default, so existing goldens pin the uncored
+      pipeline; cored goldens are pinned by their own tests.
     - [expect objective FRAC] — the solver's achieved Eq. 9 objective,
       written [N] or [N/D] (exact {!Util.Frac} comparison, no epsilons).
     - [expect selected LABELS...] — the selected candidates, compared as a
@@ -86,6 +91,7 @@ type test = {
   seed : int option;
   weights : (int * int * int) option;
   cache : bool;
+  core : bool;  (** build the problem on core universal solutions *)
   expects : expectation list;  (** in file order *)
   flag : flag option;
 }

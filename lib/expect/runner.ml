@@ -65,16 +65,18 @@ let weights_override (test : Rtest.test) =
       { Core.Problem.w_unexplained = w1; w_errors = w2; w_size = w3 })
     test.weights
 
-let problem_of_doc ?cache ?weights (doc : Serialize.Document.t) =
-  Core.Problem.make ?weights ?cache ~source:doc.Serialize.Document.instance_i
+let problem_of_doc ?(core = false) ?cache ?weights (doc : Serialize.Document.t) =
+  Core.Problem.make ?weights ~core ?cache
+    ~source:doc.Serialize.Document.instance_i
     ~j:doc.Serialize.Document.instance_j doc.Serialize.Document.tgds
 
 let problem_of_source ?cache (test : Rtest.test) source =
   let weights = weights_override test in
+  let core = test.core in
   match source with
   | Src_inline body -> (
     match Serialize.Parser.parse (String.concat "\n" body) with
-    | Ok doc -> problem_of_doc ?cache ?weights doc
+    | Ok doc -> problem_of_doc ~core ?cache ?weights doc
     | Error e ->
       failwith (Format.asprintf "inline scenario: %a" Serialize.Parser.pp_error e))
   | Src_file path when Filename.check_suffix path ".scn" -> (
@@ -84,16 +86,18 @@ let problem_of_source ?cache (test : Rtest.test) source =
       match entry.Fuzz.Corpus.case.Fuzz.Case.payload with
       | Fuzz.Case.Mapping m ->
         let weights = Option.value weights ~default:m.Fuzz.Case.weights in
-        Core.Problem.make ~weights ?cache ~source:m.Fuzz.Case.source
+        Core.Problem.make ~weights ~core ?cache ~source:m.Fuzz.Case.source
           ~j:m.Fuzz.Case.j m.Fuzz.Case.candidates
       | Fuzz.Case.Setcover inst -> (
+        (* a reduced SET COVER problem is prebuilt; [core] has no chase to
+           act on and is ignored *)
         let red = Core.Setcover.reduce inst in
         match weights with
         | Some w -> Core.Problem.with_weights red.Core.Setcover.problem w
         | None -> red.Core.Setcover.problem)))
   | Src_file path -> (
     match Serialize.Parser.parse_file path with
-    | Ok doc -> problem_of_doc ?cache ?weights doc
+    | Ok doc -> problem_of_doc ~core ?cache ?weights doc
     | Error e ->
       failwith (Format.asprintf "%s: %a" path Serialize.Parser.pp_error e))
 

@@ -2,7 +2,7 @@
     appendix (and the engine's own contracts) pin down, as named checks over
     fuzz cases.
 
-    The seven families:
+    The nine families:
 
     - [eq4-eq9] — on full-tgd scenarios the Eq. 4 bitset fast path
       ({!Core.Full}) and the general Eq. 9 evaluator agree on every probed
@@ -26,7 +26,17 @@
     - [cache-identity] — building the problem through a private
       {!Cache.t} (cold and warm) and solving through it yields problems
       and selections byte-identical to the uncached pipeline, and a warm
-      rebuild recomputes nothing.
+      rebuild recomputes nothing;
+    - [columnar-identity] — {!Relational.Columnar.of_instance} round-trips
+      losslessly, {!Logic.Cq.Columnar} returns exactly the indexed
+      row-major answer lists (order included) on bodies and heads, with
+      and without a seeded partial substitution, {!Chase.run_columnar}
+      equals {!Chase.run} trigger for trigger, and none of it changes when
+      the store is rebuilt from a permuted tuple list;
+    - [core-solution] — the core of the chased target is a sub-instance
+      retaining every ground tuple, homomorphically equivalent to it in
+      both directions, idempotent, and coring never grows the produced
+      [K_M].
 
     Checks are deterministic functions of the case: auxiliary randomness
     (probed selections, flip sequences, permutations) is derived from the
@@ -52,7 +62,7 @@ type t = {
 }
 
 val all : t list
-(** The seven families, in the order above. *)
+(** The nine families, in the order above. *)
 
 val names : string list
 

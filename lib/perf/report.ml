@@ -393,6 +393,14 @@ let gate ?(band = 3.0) ~baseline ~fresh () =
             bad "ratio %s regressed: %.3f < %.3f (baseline %.3f / band %.1f)"
               b.r_name f.value floor b.value band)
       baseline.ratios;
+    (* a hard floor, not a band: coring may never grow K_M, so the shrink
+       ratio below 1 is a correctness bug regardless of the baseline *)
+    List.iter
+      (fun (f : ratio) ->
+        if f.r_name = "core.km_shrink" && f.value < 1.0 then
+          bad "ratio core.km_shrink fell below 1: %.3f (coring grew K_M)"
+            f.value)
+      fresh.ratios;
     List.iter
       (fun (b : kernel) ->
         match

@@ -1,0 +1,28 @@
+type t = {
+  data : int array;
+  index : (int, int list) Hashtbl.t;
+}
+
+let of_array data =
+  let index = Hashtbl.create (max 16 (Array.length data)) in
+  (* Rows are appended in ascending (canonical) order, so consing leaves
+     every posting list in descending row order — the same order the
+     row-major [Cq.Index] bucket enumerates, which the bit-identity
+     contract of the columnar evaluator depends on. *)
+  Array.iteri
+    (fun row code ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt index code) in
+      Hashtbl.replace index code (row :: prev))
+    data;
+  { data; index }
+
+let length t = Array.length t.data
+
+let get t row = t.data.(row)
+
+let rows_with t code = Option.value ~default:[] (Hashtbl.find_opt t.index code)
+
+let mask_of t code =
+  let bs = Util.Bitset.create (Array.length t.data) in
+  List.iter (Util.Bitset.set bs) (rows_with t code);
+  bs

@@ -1,0 +1,20 @@
+(** One column of a columnar relation: dictionary codes in a dense int
+    array, with a hash index from code to the rows carrying it. *)
+
+type t
+
+val of_array : int array -> t
+(** [data.(row)] is the code at [row]; the index is built eagerly. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+
+val rows_with : t -> int -> int list
+(** Rows whose cell equals the code, in descending row order ([[]] for a
+    code that never occurs). The descending order mirrors the row-major
+    [Cq.Index] bucket order — see {!of_array}. *)
+
+val mask_of : t -> int -> Util.Bitset.t
+(** The same posting list as a bitset over row ids, for semi-join
+    intersection via {!Util.Bitset.inter_into}. *)

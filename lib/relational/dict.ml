@@ -1,0 +1,35 @@
+type t = {
+  table : (Value.t, int) Hashtbl.t;
+  mutable values : Value.t array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  {
+    table = Hashtbl.create capacity;
+    values = Array.make (max capacity 1) (Value.Const "");
+    size = 0;
+  }
+
+let size t = t.size
+
+let find_opt t v = Hashtbl.find_opt t.table v
+
+let intern t v =
+  match Hashtbl.find_opt t.table v with
+  | Some code -> code
+  | None ->
+    let code = t.size in
+    if code >= Array.length t.values then begin
+      let grown = Array.make (2 * Array.length t.values) (Value.Const "") in
+      Array.blit t.values 0 grown 0 t.size;
+      t.values <- grown
+    end;
+    t.values.(code) <- v;
+    Hashtbl.replace t.table v code;
+    t.size <- code + 1;
+    code
+
+let decode t code =
+  if code < 0 || code >= t.size then invalid_arg "Dict.decode: unknown code";
+  t.values.(code)

@@ -1,0 +1,24 @@
+(** Per-problem value dictionaries: constants and labeled nulls interned to
+    dense integer codes.
+
+    Interning is injective and first-come-first-served, so two values compare
+    equal iff their codes do — the columnar evaluators join on machine ints
+    and decode back to {!Value.t} only at the boundary. Codes are dense
+    ([0 .. size-1]), which lets columns, posting lists and bitsets use them
+    as array indexes directly. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val size : t -> int
+(** Number of distinct values interned so far. *)
+
+val intern : t -> Value.t -> int
+(** The code of the value, allocating the next dense code on first sight. *)
+
+val find_opt : t -> Value.t -> int option
+(** The code of the value, or [None] if it was never interned. *)
+
+val decode : t -> int -> Value.t
+(** Inverse of {!intern}. Raises [Invalid_argument] on an unknown code. *)

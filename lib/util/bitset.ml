@@ -37,11 +37,28 @@ let union_into dst src =
   check_same dst src;
   Array.iteri (fun k w -> dst.words.(k) <- dst.words.(k) lor w) src.words
 
+let inter_into dst src =
+  check_same dst src;
+  Array.iteri (fun k w -> dst.words.(k) <- dst.words.(k) land w) src.words
+
 let popcount w =
   let rec loop w acc = if w = 0 then acc else loop (w lsr 1) (acc + (w land 1)) in
   loop w 0
 
 let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let cardinal = count
+
+let iter_set f t =
+  Array.iteri
+    (fun k w ->
+      if w <> 0 then begin
+        let base = k * bits_per_word in
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f (base + b)
+        done
+      end)
+    t.words
 
 let union_count a b =
   check_same a b;

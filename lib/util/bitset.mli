@@ -19,8 +19,17 @@ val copy : t -> t
 val union_into : t -> t -> unit
 (** [union_into dst src] ors [src] into [dst]. Widths must match. *)
 
+val inter_into : t -> t -> unit
+(** [inter_into dst src] ands [src] into [dst]. Widths must match. *)
+
 val count : t -> int
 (** Number of set bits. *)
+
+val cardinal : t -> int
+(** Alias of {!count}. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Applies the function to every set bit, ascending. *)
 
 val union_count : t -> t -> int
 (** [count (dst ∪ src)] without materialising the union. *)

@@ -1,0 +1,433 @@
+(* The columnar kernel and core-solution suites:
+
+   1. Dict: intern/decode round-trips, codes are dense and injective, and
+      the code sequence is a pure function of insertion order;
+   2. Column / Columnar: encode-decode identity on adversarial values
+      (empty strings, shared prefixes, constants that render like null
+      labels, colliding null labels), posting lists and masks agree with
+      naive scans;
+   3. Bitset: the extended ops (inter_into, iter_set, cardinal) against a
+      naive int-set model;
+   4. Cq.Columnar: answer and extension lists are *identical* (order
+      included) to the indexed row-major evaluator, and the columnar chase
+      equals the row-major chase trigger for trigger;
+   5. Core_solution: worked examples, ground fixpoints, sub-instance
+      containment, two-way homomorphic equivalence, idempotence. *)
+
+open Relational
+open Logic
+open Util
+
+let inst = Alcotest.testable Instance.pp Instance.equal
+
+(* --- generators --------------------------------------------------------- *)
+
+(* Values chosen to stress the dictionary: the empty string, shared
+   prefixes, a constant spelled like a null label, and a handful of null
+   labels that repeat across tuples. *)
+let adversarial_value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map
+          (fun s -> Value.Const s)
+          (oneofl [ ""; "a"; "aa"; "aaa"; "ab"; "_N0"; "0" ]);
+        map (fun i -> Value.Null i) (int_range 0 3);
+      ])
+
+let adversarial_instance_gen =
+  QCheck2.Gen.(
+    let tuple rel arity =
+      map (fun vs -> Tuple.make rel vs)
+        (list_size (return arity) adversarial_value_gen)
+    in
+    let* ones = list_size (int_range 0 6) (tuple "p1" 1) in
+    let* twos = list_size (int_range 0 8) (tuple "r2" 2) in
+    let* threes = list_size (int_range 0 6) (tuple "r3" 3) in
+    return (Instance.of_tuples (ones @ twos @ threes)))
+
+(* --- Dict ---------------------------------------------------------------- *)
+
+let dict_qcheck =
+  let open QCheck2 in
+  let values_gen = Gen.(list_size (int_range 0 40) adversarial_value_gen) in
+  [
+    Test.make ~name:"intern/decode round-trips and codes are dense" ~count:200
+      values_gen (fun values ->
+        let d = Dict.create () in
+        let codes = List.map (Dict.intern d) values in
+        List.for_all2
+          (fun v code ->
+            code >= 0 && code < Dict.size d
+            && Value.equal (Dict.decode d code) v
+            && Dict.find_opt d v = Some code)
+          values codes);
+    Test.make ~name:"code equality is value equality" ~count:200 values_gen
+      (fun values ->
+        let d = Dict.create () in
+        let codes = List.map (Dict.intern d) values in
+        List.for_all2
+          (fun v c ->
+            List.for_all2
+              (fun v' c' -> Value.equal v v' = (c = c'))
+              values codes)
+          values codes);
+    Test.make ~name:"code sequence is a pure function of insertion order"
+      ~count:200 values_gen (fun values ->
+        let d1 = Dict.create () and d2 = Dict.create ~capacity:1 () in
+        List.map (Dict.intern d1) values = List.map (Dict.intern d2) values);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let dict_tests =
+  [
+    Alcotest.test_case "decode of an unknown code raises" `Quick (fun () ->
+        let d = Dict.create () in
+        ignore (Dict.intern d (Value.Const "x"));
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Dict.decode: unknown code") (fun () ->
+            ignore (Dict.decode d 1)));
+    Alcotest.test_case "null and look-alike constant get distinct codes"
+      `Quick (fun () ->
+        let d = Dict.create () in
+        let c1 = Dict.intern d (Value.Null 0) in
+        let c2 = Dict.intern d (Value.Const "_N0") in
+        Alcotest.(check bool) "distinct" true (c1 <> c2));
+  ]
+
+(* --- Column -------------------------------------------------------------- *)
+
+let column_qcheck =
+  let open QCheck2 in
+  let data_gen = Gen.(array_size (int_range 0 40) (int_range 0 8)) in
+  [
+    Test.make ~name:"get reads back the array" ~count:200 data_gen (fun data ->
+        let col = Column.of_array data in
+        Column.length col = Array.length data
+        && Array.for_all
+             (fun i -> Column.get col i = data.(i))
+             (Array.init (Array.length data) Fun.id));
+    Test.make ~name:"rows_with is the descending naive scan" ~count:200
+      data_gen (fun data ->
+        let col = Column.of_array data in
+        List.for_all
+          (fun code ->
+            let naive =
+              List.rev
+                (List.filter_map
+                   (fun i -> if data.(i) = code then Some i else None)
+                   (List.init (Array.length data) Fun.id))
+            in
+            Column.rows_with col code = naive)
+          (List.init 10 Fun.id));
+    Test.make ~name:"mask_of is the posting list as a bitset" ~count:200
+      data_gen (fun data ->
+        let col = Column.of_array data in
+        List.for_all
+          (fun code ->
+            Bitset.to_list (Column.mask_of col code)
+            = List.sort compare (Column.rows_with col code))
+          (List.init 10 Fun.id));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* --- Bitset extended ops vs a naive int-set model ------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+let bitset_qcheck =
+  let open QCheck2 in
+  let sets_gen =
+    Gen.(
+      let* width = int_range 1 130 in
+      let bits = list_size (int_range 0 60) (int_range 0 (width - 1)) in
+      let* a = bits and* b = bits in
+      return (width, a, b))
+  in
+  [
+    Test.make ~name:"cardinal matches the model" ~count:300 sets_gen
+      (fun (width, a, _) ->
+        Bitset.cardinal (Bitset.of_list width a)
+        = Int_set.cardinal (Int_set.of_list a));
+    Test.make ~name:"iter_set visits the model ascending" ~count:300 sets_gen
+      (fun (width, a, _) ->
+        let seen = ref [] in
+        Bitset.iter_set (fun i -> seen := i :: !seen) (Bitset.of_list width a);
+        List.rev !seen = Int_set.elements (Int_set.of_list a));
+    Test.make ~name:"inter_into is model intersection" ~count:300 sets_gen
+      (fun (width, a, b) ->
+        let sa = Bitset.of_list width a in
+        Bitset.inter_into sa (Bitset.of_list width b);
+        Bitset.to_list sa
+        = Int_set.elements (Int_set.inter (Int_set.of_list a) (Int_set.of_list b)));
+    Test.make ~name:"inter_into then cardinal agrees with to_list" ~count:300
+      sets_gen (fun (width, a, b) ->
+        let sa = Bitset.of_list width a in
+        Bitset.inter_into sa (Bitset.of_list width b);
+        Bitset.cardinal sa = List.length (Bitset.to_list sa));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let bitset_tests =
+  [
+    Alcotest.test_case "inter_into rejects mismatched widths" `Quick (fun () ->
+        Alcotest.check_raises "widths"
+          (Invalid_argument "Bitset: width mismatch") (fun () ->
+            Bitset.inter_into (Bitset.create 8) (Bitset.create 9)));
+  ]
+
+(* --- Columnar round trip ------------------------------------------------- *)
+
+let columnar_qcheck =
+  let open QCheck2 in
+  [
+    Test.make ~name:"to_instance (of_instance i) = i on adversarial values"
+      ~count:300 adversarial_instance_gen (fun i ->
+        Instance.equal (Columnar.to_instance (Columnar.of_instance i)) i);
+    Test.make ~name:"round trip on plain generated instances" ~count:200
+      Fixtures.nullable_instance_gen (fun i ->
+        Instance.equal (Columnar.to_instance (Columnar.of_instance i)) i);
+    Test.make ~name:"cardinal survives the conversion" ~count:200
+      adversarial_instance_gen (fun i ->
+        Columnar.cardinal (Columnar.of_instance i) = Instance.cardinal i);
+    Test.make ~name:"store is invariant under tuple permutation" ~count:200
+      (Gen.pair adversarial_instance_gen (Gen.int_bound 1000))
+      (fun (i, salt) ->
+        let rng = Random.State.make [| salt |] in
+        let tuples = Array.of_list (Instance.tuples i) in
+        for k = Array.length tuples - 1 downto 1 do
+          let j = Random.State.int rng (k + 1) in
+          let tmp = tuples.(k) in
+          tuples.(k) <- tuples.(j);
+          tuples.(j) <- tmp
+        done;
+        let i' = Instance.of_tuples (Array.to_list tuples) in
+        Instance.equal
+          (Columnar.to_instance (Columnar.of_instance i'))
+          (Columnar.to_instance (Columnar.of_instance i)));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let columnar_tests =
+  [
+    Alcotest.test_case "mixed arity is rejected" `Quick (fun () ->
+        let i =
+          Instance.of_tuples
+            [ Tuple.of_consts "r" [ "a" ]; Tuple.of_consts "r" [ "a"; "b" ] ]
+        in
+        Alcotest.check_raises "mixed"
+          (Invalid_argument "Columnar.of_instance: relation r mixes arities")
+          (fun () -> ignore (Columnar.of_instance i)));
+    Alcotest.test_case "tuple_of_row decodes canonical rows" `Quick (fun () ->
+        (* row ids follow the ascending set order within each relation *)
+        let i = Fixtures.instance_j in
+        let col = Columnar.of_instance i in
+        let decoded =
+          List.concat_map
+            (fun rel ->
+              let tbl = Option.get (Columnar.table col rel) in
+              List.init tbl.Columnar.nrows (Columnar.tuple_of_row col tbl rel))
+            (Columnar.relations col)
+        in
+        let expected =
+          List.concat_map
+            (fun rel -> Tuple.Set.elements (Instance.tuples_of i rel))
+            (Instance.relations i)
+        in
+        Alcotest.(check (list (Alcotest.testable Tuple.pp Tuple.equal)))
+          "canonical order" expected decoded);
+  ]
+
+(* --- columnar CQ evaluation: identical lists to the indexed evaluator ---- *)
+
+let subst_list_identical a b = List.equal Subst.equal a b
+
+let cq_columnar_qcheck =
+  let open QCheck2 in
+  [
+    Test.make ~name:"columnar answers = indexed answers, order included"
+      ~count:300
+      (Gen.pair Fixtures.nullable_instance_gen Fixtures.cq_gen)
+      (fun (i, q) ->
+        let col = Columnar.of_instance i in
+        subst_list_identical
+          (Cq.answers_indexed (Cq.Index.build i) q)
+          (Cq.Columnar.answers col q));
+    Test.make ~name:"columnar answers on adversarial dictionaries" ~count:300
+      (Gen.pair adversarial_instance_gen Fixtures.cq_gen)
+      (fun (i, q) ->
+        let col = Columnar.of_instance i in
+        subst_list_identical
+          (Cq.answers_indexed (Cq.Index.build i) q)
+          (Cq.Columnar.answers col q));
+    Test.make ~name:"columnar extensions honour the partial substitution"
+      ~count:200
+      (Gen.pair Fixtures.nullable_instance_gen Fixtures.cq_gen)
+      (fun (i, q) ->
+        match Instance.tuples i with
+        | [] -> true
+        | t :: _ ->
+          let s = Subst.singleton "X" t.Relational.Tuple.values.(0) in
+          subst_list_identical
+            (Cq.extensions_indexed (Cq.Index.build i) s q)
+            (Cq.Columnar.extensions (Columnar.of_instance i) s q));
+    Test.make ~name:"a substitution binding an absent value still agrees"
+      ~count:200
+      (Gen.pair Fixtures.nullable_instance_gen Fixtures.cq_gen)
+      (fun (i, q) ->
+        let s = Subst.singleton "X" (Value.Const "never-interned") in
+        subst_list_identical
+          (Cq.extensions_indexed (Cq.Index.build i) s q)
+          (Cq.Columnar.extensions (Columnar.of_instance i) s q));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* --- columnar chase ------------------------------------------------------ *)
+
+let chase_columnar_tests =
+  let results_equal (a : Chase.result) (b : Chase.result) =
+    Instance.equal a.Chase.solution b.Chase.solution
+    && List.length a.Chase.triggers = List.length b.Chase.triggers
+    && List.for_all2
+         (fun (x : Chase.Trigger.t) (y : Chase.Trigger.t) ->
+           x.Chase.Trigger.tgd_index = y.Chase.Trigger.tgd_index
+           && Subst.equal x.Chase.Trigger.subst y.Chase.Trigger.subst
+           && List.equal Tuple.equal x.Chase.Trigger.tuples
+                y.Chase.Trigger.tuples)
+         a.Chase.triggers b.Chase.triggers
+  in
+  [
+    Alcotest.test_case "run_columnar equals run on the paper example" `Quick
+      (fun () ->
+        let tgds = [ Fixtures.theta1; Fixtures.theta3 ] in
+        let r_row = Chase.run Fixtures.instance_i tgds in
+        let r_col =
+          Chase.run_columnar (Columnar.of_instance Fixtures.instance_i) tgds
+        in
+        Alcotest.(check bool) "identical" true (results_equal r_row r_col);
+        Alcotest.check inst "same solution" r_row.Chase.solution
+          r_col.Chase.solution);
+    Alcotest.test_case "run_columnar equals run on the extended example"
+      `Quick (fun () ->
+        let source, _ = Fixtures.extended_example 6 in
+        let candidates = [ Fixtures.theta1; Fixtures.theta3 ] in
+        let r_row = Chase.run source candidates in
+        let r_col = Chase.run_columnar (Columnar.of_instance source) candidates in
+        Alcotest.(check bool) "identical" true (results_equal r_row r_col));
+  ]
+
+(* --- Core_solution ------------------------------------------------------- *)
+
+let core_tests =
+  let t rel vs = Tuple.make rel vs in
+  let cst x = Value.Const x and nul i = Value.Null i in
+  [
+    Alcotest.test_case "redundant null tuple is retracted" `Quick (fun () ->
+        (* R(a, N1) maps into R(a, b): the core keeps only the ground tuple *)
+        let i =
+          Instance.of_tuples
+            [ t "r" [ cst "a"; nul 1 ]; t "r" [ cst "a"; cst "b" ] ]
+        in
+        Alcotest.check inst "core"
+          (Instance.of_tuples [ t "r" [ cst "a"; cst "b" ] ])
+          (Chase.Core_solution.core i));
+    Alcotest.test_case "null-connected component retracts as a whole" `Quick
+      (fun () ->
+        (* P(a,N1), Q(N1,c) jointly map onto P(a,b), Q(b,c); both go *)
+        let ground = [ t "p" [ cst "a"; cst "b" ]; t "q" [ cst "b"; cst "c" ] ] in
+        let i =
+          Instance.of_tuples
+            (t "p" [ cst "a"; nul 1 ] :: t "q" [ nul 1; cst "c" ] :: ground)
+        in
+        Alcotest.check inst "core" (Instance.of_tuples ground)
+          (Chase.Core_solution.core i));
+    Alcotest.test_case "a join-carrying null survives" `Quick (fun () ->
+        (* P(a,N1), Q(N1,c) with no ground witness: nothing to retract to *)
+        let i =
+          Instance.of_tuples [ t "p" [ cst "a"; nul 1 ]; t "q" [ nul 1; cst "c" ] ]
+        in
+        Alcotest.check inst "core" i (Chase.Core_solution.core i);
+        Alcotest.(check bool) "is_core" true (Chase.Core_solution.is_core i));
+    Alcotest.test_case "ground instances are their own core" `Quick (fun () ->
+        Alcotest.check inst "identity" Fixtures.instance_j
+          (Chase.Core_solution.core Fixtures.instance_j);
+        Alcotest.(check bool)
+          "is_core" true
+          (Chase.Core_solution.is_core Fixtures.instance_j));
+    Alcotest.test_case "nulls collapse onto each other when compatible" `Quick
+      (fun () ->
+        (* R(a,N1) and R(a,N2) are homomorphically interchangeable; the
+           core keeps exactly one of them (the search keeps the first
+           surviving tuple in canonical order) *)
+        let i =
+          Instance.of_tuples [ t "r" [ cst "a"; nul 1 ]; t "r" [ cst "a"; nul 2 ] ]
+        in
+        let c = Chase.Core_solution.core i in
+        Alcotest.(check int) "one tuple" 1 (Instance.cardinal c);
+        Alcotest.(check bool) "subset" true (Instance.subset c i));
+    Alcotest.test_case "hom_exists fixes constants" `Quick (fun () ->
+        let from = Instance.of_tuples [ t "r" [ cst "a" ] ] in
+        let into = Instance.of_tuples [ t "r" [ cst "b" ] ] in
+        Alcotest.(check bool)
+          "no hom" false
+          (Chase.Core_solution.hom_exists ~from ~into);
+        Alcotest.(check bool)
+          "identity hom" true
+          (Chase.Core_solution.hom_exists ~from ~into:from));
+    Alcotest.test_case "hom_exists maps nulls anywhere" `Quick (fun () ->
+        let from = Instance.of_tuples [ t "r" [ nul 1; nul 1 ] ] in
+        let into_ok = Instance.of_tuples [ t "r" [ cst "a"; cst "a" ] ] in
+        let into_no = Instance.of_tuples [ t "r" [ cst "a"; cst "b" ] ] in
+        Alcotest.(check bool)
+          "diagonal" true
+          (Chase.Core_solution.hom_exists ~from ~into:into_ok);
+        Alcotest.(check bool)
+          "off-diagonal" false
+          (Chase.Core_solution.hom_exists ~from ~into:into_no));
+  ]
+
+let core_qcheck =
+  let open QCheck2 in
+  let small_nullable_gen =
+    Gen.(
+      let tuple rel arity =
+        map
+          (fun vs -> Relational.Tuple.make rel vs)
+          (list_size (return arity) Fixtures.nullable_value_gen)
+      in
+      let* twos = list_size (int_range 0 6) (tuple "r2" 2) in
+      let* threes = list_size (int_range 0 4) (tuple "r3" 3) in
+      return (Instance.of_tuples (twos @ threes)))
+  in
+  [
+    Test.make ~name:"core is a sub-instance and idempotent" ~count:150
+      small_nullable_gen (fun i ->
+        let c = Chase.Core_solution.core i in
+        Instance.subset c i
+        && Instance.equal (Chase.Core_solution.core c) c
+        && Chase.Core_solution.is_core c);
+    Test.make ~name:"core is homomorphically equivalent to the input"
+      ~count:100 small_nullable_gen (fun i ->
+        let c = Chase.Core_solution.core i in
+        Chase.Core_solution.hom_exists ~from:i ~into:c
+        && Chase.Core_solution.hom_exists ~from:c ~into:i);
+    Test.make ~name:"core retains every ground tuple" ~count:150
+      small_nullable_gen (fun i ->
+        let c = Chase.Core_solution.core i in
+        List.for_all
+          (fun t -> (not (Relational.Tuple.is_ground t)) || Instance.mem t c)
+          (Instance.tuples i));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "columnar"
+    [
+      ("dict", dict_tests @ dict_qcheck);
+      ("column", column_qcheck);
+      ("bitset", bitset_tests @ bitset_qcheck);
+      ("columnar", columnar_tests @ columnar_qcheck);
+      ("cq-columnar", cq_columnar_qcheck);
+      ("chase-columnar", chase_columnar_tests);
+      ("core", core_tests @ core_qcheck);
+    ]

@@ -247,6 +247,41 @@ let property_tests =
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
+(* Regression pin for the interned homomorphism search: the E1 problem's
+   digest covers every stat field (covers map, error tuples, produced,
+   size, cost) of both candidates, so any drift in [stats_of_triggers] —
+   like the interned-J hoist reordering a fold — fails here byte-for-byte. *)
+let regression_tests =
+  [
+    Alcotest.test_case "E1 stats digest is stable" `Quick (fun () ->
+        let p =
+          Core.Problem.make ~source:Fixtures.instance_i ~j:Fixtures.instance_j
+            [ Fixtures.theta1; Fixtures.theta3 ]
+        in
+        Alcotest.(check string)
+          "digest" "b5fc0caa89cc8925a22214fa4beaaf33" (Core.Problem.digest p));
+    Alcotest.test_case "cored E1 stats equal uncored ones (ground chase)"
+      `Quick (fun () ->
+        (* the E1 chase target is null-free on theta1 and its core is the
+           identity, so coring must be a no-op on the stats *)
+        let plain = analyze_appendix () in
+        let cored =
+          Cover.analyze ~core:true ~source:Fixtures.instance_i
+            ~j:Fixtures.instance_j
+            [ Fixtures.theta1; Fixtures.theta3 ]
+        in
+        Array.iteri
+          (fun k s ->
+            Alcotest.(check int)
+              (Printf.sprintf "produced %d" k)
+              s.Cover.produced cored.(k).Cover.produced;
+            Alcotest.(check int)
+              (Printf.sprintf "errors %d" k)
+              (Cover.error_count s)
+              (Cover.error_count cored.(k)))
+          plain);
+  ]
+
 let () =
   Alcotest.run "cover"
     [
@@ -254,4 +289,5 @@ let () =
       ("matching", matching_tests);
       ("partial-groups", partial_group_tests);
       ("properties", property_tests);
+      ("regression", regression_tests);
     ]

@@ -121,6 +121,7 @@ let test_gen index =
          return (a, b, c))
     in
     let* cache = bool in
+    let* core = bool in
     let* flag = flag_gen in
     return
       {
@@ -131,6 +132,7 @@ let test_gen index =
         seed;
         weights;
         cache;
+        core;
         expects;
         flag;
       })
