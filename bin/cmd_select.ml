@@ -14,26 +14,25 @@ let run_problem ~solver ~jobs ~cache ~weights ~candidates ~source ~j ~truth =
         (String.concat ", " (Core.Solver.names ()))
   in
   let problem = Core.Problem.make ?cache ~weights ~source ~j candidates in
-  let fractional = ref None in
-  let selection =
-    match solver with
-    | "cmd" ->
-      (* called directly (not through the registry wrapper) to keep the
-         fractional ADMM solution for the per-candidate display *)
-      let r = Core.Cmd.solve problem in
-      fractional := Some r.Core.Cmd.fractional;
-      r.Core.Cmd.selection
-    | _ ->
+  (* every solver, cmd included, goes through the registry wrapper; the
+     outcome carries the fractional ADMM solution (when the winning solver
+     produced one and the selection was not served from the cache) for the
+     per-candidate display *)
+  let outcome =
+    try
       if jobs > 1 then
         Parallel.Pool.with_pool ~jobs (fun pool ->
             Core.Solver.solve solver_impl ~pool ?cache problem)
       else Core.Solver.solve solver_impl ?cache problem
+    with Core.Solver_error.Error _ as e ->
+      Cli.die "%s" (Core.Solver_error.to_string e)
   in
+  let selection = outcome.Core.Solver.selection in
   Format.printf "candidates (%d):@." (List.length candidates);
   List.iteri
     (fun i tgd ->
       let context =
-        match (!fractional, solver) with
+        match (outcome.Core.Solver.fractional, solver) with
         | Some f, _ -> Printf.sprintf " in=%.3f" f.(i)
         | None, "all" ->
           (* 'all' does not optimise anything, so surface each candidate's
@@ -133,7 +132,8 @@ let seed = Cli.seed ~default:42 ~doc:"Generator seed."
 let solver =
   Arg.(value & opt string "cmd" & info [ "s"; "solver" ] ~docv:"NAME"
          ~doc:"Solver from the Core.Solver registry: cmd, greedy, local, \
-               exact, anneal or all.")
+               exact, anneal, all, or portfolio (race the roster, first \
+               provably optimal or best objective wins).")
 
 let pi name doc = Arg.(value & opt int 0 & info [ name ] ~doc)
 

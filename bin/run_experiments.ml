@@ -16,10 +16,11 @@ let render format table =
 
 let run_ids format jobs cache trace ids =
   Cli.install_trace trace;
-  Experiments.Common.set_jobs (Cli.resolve_jobs jobs);
   let cache = Cli.resolve_cache cache in
   Cli.install_signal_flush ?cache ();
-  Experiments.Common.set_cache cache;
+  let ctx =
+    Experiments.Common.Ctx.create ?cache ~jobs:(Cli.resolve_jobs jobs) ()
+  in
   let to_run =
     match ids with
     | [] -> List.map (fun (id, _, run) -> (id, run)) Experiments.Registry.all
@@ -37,20 +38,23 @@ let run_ids format jobs cache trace ids =
         ids
   in
   (* a single experiment parallelises internally (per-seed scenario solves);
-     several independent experiments additionally fan out over the shared
+     several independent experiments additionally fan out over the context's
      pool, each rendered off-line and printed in request order *)
-  let rendered =
-    match to_run with
-    | [ (_, run) ] -> [ render format (run ()) ]
-    | _ when Experiments.Common.jobs () <= 1 ->
-      List.map (fun (_, run) -> render format (run ())) to_run
-    | _ ->
-      Parallel.Pool.parallel_map_list ~chunk:1
-        (Experiments.Common.pool ())
-        (fun (_, run) -> render format (run ()))
-        to_run
-  in
-  List.iter print_endline rendered
+  Fun.protect
+    ~finally:(fun () -> Experiments.Common.Ctx.shutdown ctx)
+    (fun () ->
+      let rendered =
+        match to_run with
+        | [ (_, run) ] -> [ render format (run ctx) ]
+        | _ when Experiments.Common.Ctx.jobs ctx <= 1 ->
+          List.map (fun (_, run) -> render format (run ctx)) to_run
+        | _ ->
+          Parallel.Pool.parallel_map_list ~chunk:1
+            (Experiments.Common.Ctx.pool ctx)
+            (fun (_, run) -> render format (run ctx))
+            to_run
+      in
+      List.iter print_endline rendered)
 
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID"

@@ -84,6 +84,8 @@ end
 type payload =
   | Stats of Cover.tgd_stats  (* stored with [index = 0] *)
   | Selection of bool array
+  | Chase_result of Chase.result
+      (* memory-only tier: encodes to "" and never touches the disk *)
 
 (* Completed entries sit in a circular doubly-linked list through a
    sentinel: most recent after the sentinel, eviction victim before it.
@@ -258,7 +260,12 @@ let lookup t key ~encode ~decode compute =
     | None -> (
       match compute () with
       | payload ->
-        Option.iter (fun dir -> disk_write dir key (encode payload)) t.dir_;
+        (* an empty encoding marks a memory-only payload (chase tier) *)
+        Option.iter
+          (fun dir ->
+            let text = encode payload in
+            if text <> "" then disk_write dir key text)
+          t.dir_;
         finish ~miss:true payload
       | exception e ->
         Mutex.lock t.mutex;
@@ -407,6 +414,7 @@ let decode_selection text =
 let encode_payload = function
   | Stats s -> encode_stats s
   | Selection sel -> encode_selection sel
+  | Chase_result _ -> ""
 
 (* Snapshot the completed entries under the lock, write outside it: the
    writes are pure repair work and must not serialize concurrent lookups. *)
@@ -427,7 +435,8 @@ let sync t =
     List.iter
       (fun (key, payload) ->
         if not (Sys.file_exists (disk_path dir key)) then
-          disk_write dir key (encode_payload payload))
+          let text = encode_payload payload in
+          if text <> "" then disk_write dir key text)
       entries
 
 (* --- typed entry points ------------------------------------------------- *)
@@ -436,6 +445,31 @@ let sync t =
    (source, j) pair keeps the per-candidate key derivation O(|tgd|). *)
 let data_key ~source ~j =
   Key.digest [ "data"; Key.instance source; Key.instance j ]
+
+let source_key ~source = Key.digest [ "src"; Key.instance source ]
+
+(* A problem build needs both keys; rendering the source once for the pair
+   halves the dominant cost of a fully warm build. *)
+let example_keys ~source ~j =
+  let src = Key.instance source in
+  (Key.digest [ "src"; src ], Key.digest [ "data"; src; Key.instance j ])
+
+(* The chase depends on (source, tgd) only — not on the target instance —
+   so a sweep over noise levels that perturb only [J] reuses every chase
+   from the neighbouring level. Memory-only: a chase result is cheap to
+   hold and expensive to serialize, and the derived [tgd_stats] already
+   carry the durable tier. *)
+let chase t ~source_key tgd compute =
+  let key = Key.digest [ "chase"; Key.tgd tgd; source_key ] in
+  let payload =
+    lookup t key
+      ~encode:(fun _ -> "")
+      ~decode:(fun _ -> None)
+      (fun () -> Chase_result (compute ()))
+  in
+  match payload with
+  | Chase_result r -> r
+  | _ -> assert false
 
 let tgd_stats t ?(semantics = Cover.Corroborated) ?(core = false) ~data_key
     ~index tgd compute =
@@ -449,13 +483,13 @@ let tgd_stats t ?(semantics = Cover.Corroborated) ?(core = false) ~data_key
   in
   let payload =
     lookup t key
-      ~encode:(function Stats s -> encode_stats s | Selection _ -> "")
+      ~encode:(function Stats s -> encode_stats s | _ -> "")
       ~decode:(fun text -> Option.map (fun s -> Stats s) (decode_stats ~tgd text))
       (fun () -> Stats { (compute ()) with Cover.index = 0 })
   in
   match payload with
   | Stats s -> { s with Cover.index }
-  | Selection _ -> assert false
+  | _ -> assert false
 
 let selection t ~solver ~seed ~problem_key compute =
   let key =
@@ -469,11 +503,11 @@ let selection t ~solver ~seed ~problem_key compute =
   in
   let payload =
     lookup t key
-      ~encode:(function Selection s -> encode_selection s | Stats _ -> "")
+      ~encode:(function Selection s -> encode_selection s | _ -> "")
       ~decode:(fun text ->
         Option.map (fun s -> Selection s) (decode_selection text))
       (fun () -> Selection (Array.copy (compute ())))
   in
   match payload with
   | Selection sel -> Array.copy sel
-  | Stats _ -> assert false
+  | _ -> assert false

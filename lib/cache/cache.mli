@@ -126,6 +126,33 @@ val tgd_stats :
     in a list. [compute] must derive its result from exactly the keyed
     inputs (chase [source] with [tgd], fold against [j]). *)
 
+val source_key : source : Relational.Instance.t -> string
+(** Digest of the source instance alone — the key half of the chase tier.
+    Computed once per source, like {!data_key}. *)
+
+val example_keys :
+  source : Relational.Instance.t ->
+  j : Relational.Instance.t ->
+  string * string
+(** [(source_key, data_key)] of one data example, rendering the source
+    instance once instead of twice — exactly {!source_key} and {!data_key},
+    byte for byte. Problem builds need both, and on a fully warm build the
+    key derivation is the dominant cost. *)
+
+val chase :
+  t ->
+  source_key : string ->
+  Logic.Tgd.t ->
+  (unit -> Chase.result) ->
+  Chase.result
+(** [chase t ~source_key tgd compute] memoizes a single-tgd chase of the
+    source under [(tgd, source_key)]. The chase depends only on the source
+    and the tgd (null labels are deterministic per run), never on the
+    target instance — so a noise sweep that perturbs only [J] hits this
+    tier at every level. Memory-only: entries are never written to the disk
+    tier and vanish with the cache. The returned result is shared, not
+    copied; callers must treat it as immutable. *)
+
 val selection :
   t ->
   solver : string ->

@@ -3,9 +3,8 @@ open Util
 let solve ?(max_candidates = 25) (p : Problem.t) =
   let m = Problem.num_candidates p in
   if m > max_candidates then
-    invalid_arg
-      (Printf.sprintf "Exact.solve: %d candidates exceed the limit of %d" m
-         max_candidates);
+    Solver_error.raise_ ~solver:"exact"
+      "%d candidates exceed the branch-and-bound limit of %d" m max_candidates;
   let n_tuples = Problem.num_tuples p in
   let w1 = Frac.of_int p.Problem.weights.Problem.w_unexplained in
   (* Incumbent from greedy. *)

@@ -9,7 +9,8 @@
     solution provides the initial incumbent. *)
 
 val solve : ?max_candidates : int -> Problem.t -> bool array
-(** Raises [Invalid_argument] when the problem has more than
+(** Raises {!Solver_error.Error} when the problem has more than
     [max_candidates] (default 25) candidates — a guard against accidental
-    exponential blow-ups. The returned selection attains the minimum of
+    exponential blow-ups, typed so the portfolio and the daemons can skip or
+    report it. The returned selection attains the minimum of
     {!Objective.value}. *)

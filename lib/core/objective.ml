@@ -50,6 +50,22 @@ let breakdown (p : Problem.t) sel =
 
 let value p sel = (breakdown p sel).total
 
+let lower_bound (p : Problem.t) =
+  (* The root bound of the branch-and-bound search: selecting is free and
+     every tuple enjoys its best achievable coverage over all candidates.
+     No selection can score below this. *)
+  let best = Array.make (Array.length p.Problem.tuples) Frac.zero in
+  Array.iter
+    (fun cover_list ->
+      Array.iter
+        (fun (ti, d) -> if Frac.(best.(ti) < d) then best.(ti) <- d)
+        cover_list)
+    p.Problem.covers;
+  let covered = Array.fold_left Frac.add Frac.zero best in
+  Frac.mul
+    (Frac.of_int p.Problem.weights.Problem.w_unexplained)
+    (Frac.sub (Frac.of_int (Array.length p.Problem.tuples)) covered)
+
 let empty_value (p : Problem.t) =
   Frac.of_int (p.Problem.weights.Problem.w_unexplained * Array.length p.Problem.tuples)
 

@@ -34,4 +34,11 @@ val best_coverage : Problem.t -> bool array -> Util.Frac.t array
 val empty_value : Problem.t -> Util.Frac.t
 (** [F({})] — [w1 · |J|]. *)
 
+val lower_bound : Problem.t -> Util.Frac.t
+(** An exact-rational lower bound on [F] over all selections:
+    [w1 · Σ_t (1 − max_θ covers(θ, t))], i.e. candidates cost nothing and
+    every tuple gets its best achievable coverage. A solver whose achieved
+    objective equals this bound is provably optimal — the certificate the
+    portfolio's racing uses. *)
+
 val pp_breakdown : Format.formatter -> breakdown -> unit

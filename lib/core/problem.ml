@@ -80,7 +80,7 @@ let make ?weights ?semantics ?(core = false) ?cache ~source ~j candidates =
          this candidate list. The data digest is computed once and the
          chase fixture lazily — a fully warm build touches neither the
          chase nor the source data beyond this one rendering. *)
-      let data_key = Cache.data_key ~source ~j in
+      let source_key, data_key = Cache.example_keys ~source ~j in
       let chase =
         lazy
           (match Relational.Columnar.of_instance source with
@@ -89,13 +89,19 @@ let make ?weights ?semantics ?(core = false) ?cache ~source ~j candidates =
             let index = Logic.Cq.Index.build source in
             fun tgd -> Chase.run ~index source [ tgd ])
       in
+      (* The chase tier sits under the stats tier: a stats miss whose chase
+         was already run for another target instance (a neighbouring sweep
+         point) redoes only the coverage fold. *)
+      let chase tgd =
+        Cache.chase cache ~source_key tgd (fun () -> (Lazy.force chase) tgd)
+      in
       Array.of_list
         (List.mapi
            (fun index tgd ->
              Cache.tgd_stats cache ?semantics ~core ~data_key ~index tgd
                (fun () ->
                  Cover.stats_of_result ?semantics ~core ~j ~index tgd
-                   ((Lazy.force chase) tgd)))
+                   (chase tgd)))
            candidates)
   in
   of_stats ?weights ~j stats

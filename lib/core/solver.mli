@@ -9,26 +9,41 @@
     (a [solver.<name>] span plus the [solver.objective_best] gauge) that
     instruments all of them at once.
 
+    Since solvers now return an {!outcome} — selection plus the fractional
+    MAP values when the solver computes them — CMD no longer needs an
+    out-of-band entry point anywhere; [cmd_select]'s fractional column comes
+    straight through the registry.
+
     The per-module entry points ([Greedy.solve], [Exact.solve], …) remain
     the implementations — the registry wraps them, so existing call sites
     keep working and registry calls stay bit-identical to direct ones. *)
+
+type outcome = {
+  selection : bool array;
+  fractional : float array option;
+      (** per-candidate relaxed [in(θ)] values, for solvers that produce
+          them (CMD); [None] otherwise and on cache hits *)
+}
 
 module type S = sig
   val name : string
   (** Registry key, lowercase (["greedy"], ["cmd"], …). *)
 
-  val solve : ?pool:Parallel.Pool.t -> ?seed:int -> Problem.t -> bool array
+  val solve : ?pool:Parallel.Pool.t -> ?seed:int -> Problem.t -> outcome
   (** Solves under the solver's canonical settings. Deterministic in
       [(problem, seed)] — never in [pool] (the {!Parallel.Pool} determinism
       contract); solvers without internal randomness or parallel phases
-      ignore the respective argument. *)
+      ignore the respective argument. May raise {!Solver_error.Error} when
+      the solver cannot handle the problem shape (exact past its candidate
+      limit). *)
 end
 
 type t = (module S)
 
 val all : t list
 (** Every registered solver, in registry order: greedy, exact, local,
-    anneal, cmd, all. *)
+    anneal, cmd, all, portfolio. The portfolio races the others
+    ({!Portfolio.race}) under the same determinism contract. *)
 
 val names : unit -> string list
 
@@ -43,10 +58,11 @@ val solve :
   ?seed:int ->
   ?cache:Cache.t ->
   Problem.t ->
-  bool array
+  outcome
 (** [solve s ?pool ?seed p] runs the solver inside a [solver.<name>]
     telemetry span and records the achieved objective on the
-    [solver.objective_best] gauge (when telemetry is enabled; the selection
+    [solver.objective_best] gauge (when telemetry is enabled; the outcome
     returned is byte-identical either way). With [cache], the selection is
     memoized under [(name, seed, Problem.digest p)] — sound because every
-    registered solver is deterministic in [(problem, seed)]. *)
+    registered solver is deterministic in [(problem, seed)]; on a cache hit
+    [fractional] is [None]. *)

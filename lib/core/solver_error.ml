@@ -1,0 +1,13 @@
+exception Error of { solver : string; reason : string }
+
+let raise_ ~solver fmt =
+  Printf.ksprintf (fun reason -> raise (Error { solver; reason })) fmt
+
+let to_string = function
+  | Error { solver; reason } -> Printf.sprintf "solver %s: %s" solver reason
+  | _ -> invalid_arg "Solver_error.to_string"
+
+let () =
+  Printexc.register_printer (function
+    | Error _ as e -> Some (to_string e)
+    | _ -> None)

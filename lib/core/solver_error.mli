@@ -1,0 +1,16 @@
+(** The typed refusal a solver raises when it cannot handle a problem
+    (rather than failing to solve it): branch and bound past its candidate
+    limit, for instance. Callers that fan out over solvers — the portfolio
+    roster, [cmd_select], the serve daemon — catch it by type and either
+    skip the solver deterministically or surface a structured error, where a
+    bare [Invalid_argument] used to crash or land in the generic
+    internal-error bucket. *)
+
+exception Error of { solver : string; reason : string }
+
+val raise_ : solver : string -> ('a, unit, string, 'b) format4 -> 'a
+(** [raise_ ~solver fmt ...] raises {!Error} with a formatted reason. *)
+
+val to_string : exn -> string
+(** Renders an {!Error}; raises [Invalid_argument] on any other exception.
+    Also installed as a [Printexc] printer. *)

@@ -138,20 +138,31 @@ let pipeline (test : Rtest.test) source =
             (Printf.sprintf "unknown solver '%s' (registry: %s)" name
                (String.concat ", " (Core.Solver.names ())));
           None
-        | Some impl ->
-          let sel = Core.Solver.solve impl ?seed:test.seed problem in
-          (match cache with
-          | None -> ()
-          | Some (c, cached) ->
-            let cold = Core.Solver.solve impl ?seed:test.seed ~cache:c cached in
-            let warm = Core.Solver.solve impl ?seed:test.seed ~cache:c cached in
-            if cold <> sel then
-              add_hard
-                (name ^ ": cache identity: cold cached selection differs");
-            if warm <> sel then
-              add_hard
-                (name ^ ": cache identity: warm cached selection differs"));
-          Some (name, sel))
+        | Some impl -> (
+          try
+            let sel =
+              (Core.Solver.solve impl ?seed:test.seed problem)
+                .Core.Solver.selection
+            in
+            (match cache with
+            | None -> ()
+            | Some (c, cached) ->
+              let run () =
+                (Core.Solver.solve impl ?seed:test.seed ~cache:c cached)
+                  .Core.Solver.selection
+              in
+              let cold = run () in
+              let warm = run () in
+              if cold <> sel then
+                add_hard
+                  (name ^ ": cache identity: cold cached selection differs");
+              if warm <> sel then
+                add_hard
+                  (name ^ ": cache identity: warm cached selection differs"));
+            Some (name, sel)
+          with Core.Solver_error.Error _ as e ->
+            add_hard (name ^ ": " ^ Core.Solver_error.to_string e);
+            None))
       test.solvers
   in
   { problem; selections; hard = List.rev !hard; counters = [] }

@@ -5,12 +5,14 @@ type solver =
   | Greedy_solver
   | All_candidates
   | Exact_solver
+  | Portfolio_solver
 
 let solver_name = function
   | Cmd_solver -> "CMD"
   | Greedy_solver -> "greedy"
   | All_candidates -> "all"
   | Exact_solver -> "exact"
+  | Portfolio_solver -> "portfolio"
 
 (* the Core.Solver registry name; only the CMD display label differs *)
 let registry_name = function
@@ -18,18 +20,92 @@ let registry_name = function
   | Greedy_solver -> "greedy"
   | All_candidates -> "all"
   | Exact_solver -> "exact"
+  | Portfolio_solver -> "portfolio"
 
-(* The suite-wide evaluation cache, [None] by default. A plain atomic slot
-   (not a lazy): `--cache` / [set_cache] runs before the suite, and reads
-   from pool workers must be race-free. *)
-let shared_cache = Atomic.make None
+module Ctx = struct
+  type t = {
+    cache : Cache.t option;
+    jobs : int;
+    mutex : Mutex.t;
+    mutable pool_slot : Parallel.Pool.t option;
+    mutable closed : bool;
+    warm : (string, Core.Cmd.warm) Hashtbl.t;
+  }
 
-let set_cache c = Atomic.set shared_cache c
+  let create ?cache ?jobs () =
+    let jobs =
+      match jobs with
+      | None -> Parallel.Pool.default_jobs ()
+      | Some j ->
+        if j < 1 then invalid_arg "Experiments.Common.Ctx.create: jobs must be >= 1";
+        j
+    in
+    {
+      cache;
+      jobs;
+      mutex = Mutex.create ();
+      pool_slot = None;
+      closed = false;
+      warm = Hashtbl.create 16;
+    }
 
-let cache () = Atomic.get shared_cache
+  let cache t = t.cache
 
-let problem_of_scenario (s : Ibench.Scenario.t) =
-  Core.Problem.make ?cache:(cache ()) ~source:s.Ibench.Scenario.instance_i
+  let jobs t = t.jobs
+
+  let pool t =
+    Mutex.lock t.mutex;
+    let r =
+      if t.closed then Error ()
+      else
+        Ok
+          (match t.pool_slot with
+          | Some p -> p
+          | None ->
+            let p = Parallel.Pool.create ~jobs:t.jobs () in
+            t.pool_slot <- Some p;
+            p)
+    in
+    Mutex.unlock t.mutex;
+    match r with
+    | Ok p -> p
+    | Error () -> invalid_arg "Experiments.Common.Ctx.pool: context is shut down"
+
+  (* Take the slot under the lock, join the workers outside it: two racing
+     shutdowns see the slot exactly once between them, and neither can
+     observe a half-shut pool — the old [set_jobs] accessor could shut a
+     pool down while a sweep was still fanning out on it. *)
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let p = t.pool_slot in
+    t.pool_slot <- None;
+    t.closed <- true;
+    Mutex.unlock t.mutex;
+    Option.iter Parallel.Pool.shutdown p
+
+  let warm_find t key =
+    Mutex.lock t.mutex;
+    let v = Hashtbl.find_opt t.warm key in
+    Mutex.unlock t.mutex;
+    v
+
+  let warm_set t key v =
+    Mutex.lock t.mutex;
+    Hashtbl.replace t.warm key v;
+    Mutex.unlock t.mutex
+
+  let warm_clear t =
+    Mutex.lock t.mutex;
+    Hashtbl.reset t.warm;
+    Mutex.unlock t.mutex
+
+  let with_ctx ?cache ?jobs f =
+    let t = create ?cache ?jobs () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+let problem_of_scenario ctx (s : Ibench.Scenario.t) =
+  Core.Problem.make ?cache:(Ctx.cache ctx) ~source:s.Ibench.Scenario.instance_i
     ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
 
 type outcome = {
@@ -40,14 +116,44 @@ type outcome = {
   runtime_ms : float;
 }
 
-let run_solver solver (s : Ibench.Scenario.t) problem =
-  let impl =
-    match Core.Solver.find (registry_name solver) with
-    | Some impl -> impl
-    | None -> assert false (* every variant is registered *)
+let run_solver ctx ?warm_key solver (s : Ibench.Scenario.t) problem =
+  let selection, runtime_ms =
+    match (solver, warm_key) with
+    | Cmd_solver, Some key ->
+      (* Warm-started sweep point. A re-served point (same key, same ground
+         model) restarts ADMM from its own previous fixed point and
+         re-converges in a handful of iterations; Cmd applies the state only
+         on an exact model match, so selections are bit-identical to the
+         cold path (the warm-start fuzz family and test_cmd pin this) and
+         only the wall clock changes. When the context carries a cache, the
+         selection tier short-circuits exact repeats outright — under the
+         same key Core.Solver.solve uses for the registered cmd solver, so
+         entries interoperate. *)
+      let solve () =
+        let prev = Ctx.warm_find ctx key in
+        let r =
+          Telemetry.with_span "solver.cmd" (fun () ->
+              Core.Cmd.solve ?warm:prev problem)
+        in
+        Ctx.warm_set ctx key r.Core.Cmd.warm_out;
+        r.Core.Cmd.selection
+      in
+      Timer.time_ms (fun () ->
+          match Ctx.cache ctx with
+          | None -> solve ()
+          | Some cache ->
+            Cache.selection cache ~solver:"cmd" ~seed:None
+              ~problem_key:(Core.Problem.digest problem) solve)
+    | _ ->
+      let impl =
+        match Core.Solver.find (registry_name solver) with
+        | Some impl -> impl
+        | None -> assert false (* every variant is registered *)
+      in
+      Timer.time_ms (fun () ->
+          (Core.Solver.solve impl ?cache:(Ctx.cache ctx) problem)
+            .Core.Solver.selection)
   in
-  let solve () = Core.Solver.solve impl ?cache:(cache ()) problem in
-  let selection, runtime_ms = Timer.time_ms solve in
   {
     selection;
     objective = Core.Objective.value problem selection;
@@ -74,59 +180,12 @@ let noise_config ?(rows = 15) ?primitives ~seed ~pi_corresp ~pi_errors
     seed;
   }
 
-(* The suite-wide shared pool. Created lazily on first use so `--jobs` /
-   [set_jobs] can still override the PARALLEL_JOBS/default sizing; guarded
-   by a mutex because experiments themselves may run on pool workers. *)
-
-let pool_mutex = Mutex.create ()
-
-let jobs_override = ref None
-
-let shared_pool = ref None
-
-let jobs () =
-  Mutex.lock pool_mutex;
-  let j =
-    match !jobs_override with
-    | Some j -> j
-    | None -> Parallel.Pool.default_jobs ()
-  in
-  Mutex.unlock pool_mutex;
-  j
-
-let set_jobs j =
-  if j < 1 then invalid_arg "Experiments.Common.set_jobs: jobs must be >= 1";
-  Mutex.lock pool_mutex;
-  jobs_override := Some j;
-  let old = !shared_pool in
-  shared_pool := None;
-  Mutex.unlock pool_mutex;
-  Option.iter Parallel.Pool.shutdown old
-
-let pool () =
-  Mutex.lock pool_mutex;
-  let p =
-    match !shared_pool with
-    | Some p -> p
-    | None ->
-      let j =
-        match !jobs_override with
-        | Some j -> j
-        | None -> Parallel.Pool.default_jobs ()
-      in
-      let p = Parallel.Pool.create ~jobs:j () in
-      shared_pool := Some p;
-      p
-  in
-  Mutex.unlock pool_mutex;
-  p
-
-let parallel_map f xs =
+let parallel_map ctx f xs =
   (* chunk 1: each task is a whole scenario generate + solve, far heavier
      than the queue overhead. On a worker (the registry fanning experiments
      out) or with one job, stay inline — and don't spawn the shared pool. *)
-  if Parallel.Pool.on_worker () || jobs () <= 1 then List.map f xs
-  else Parallel.Pool.parallel_map_list ~chunk:1 (pool ()) f xs
+  if Parallel.Pool.on_worker () || Ctx.jobs ctx <= 1 then List.map f xs
+  else Parallel.Pool.parallel_map_list ~chunk:1 (Ctx.pool ctx) f xs
 
 let fmt_f v = Printf.sprintf "%.2f" v
 

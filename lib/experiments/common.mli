@@ -1,25 +1,66 @@
-(** Shared plumbing for the experiments: scenario → problem conversion,
-    solver invocation and metric aggregation. *)
+(** Shared plumbing for the experiments: the solver context, scenario →
+    problem conversion, solver invocation and metric aggregation. *)
 
 type solver =
   | Cmd_solver  (** the paper's approach *)
   | Greedy_solver  (** the non-collective baseline *)
   | All_candidates  (** select everything Clio proposed *)
   | Exact_solver  (** branch and bound (small problems only) *)
+  | Portfolio_solver  (** {!Core.Portfolio} race over the registry roster *)
 
 val solver_name : solver -> string
+(** Display label ([CMD], [greedy], ...). *)
 
-val set_cache : Cache.t option -> unit
-(** CLI override (`--cache`): the evaluation cache {!problem_of_scenario}
-    and {!run_solver} consult. [None] (the default) disables caching. *)
+val registry_name : solver -> string
+(** The {!Core.Solver.find} name of the variant. *)
 
-val cache : unit -> Cache.t option
-(** The suite's shared evaluation cache, if any. *)
+(** The solver context: every run-wide resource the suite used to keep in
+    process globals — the evaluation cache, the parallelism degree, the
+    shared worker pool and the warm-start store — bundled into one value
+    threaded explicitly through the experiments. A [Ctx.t] is immutable in
+    its configuration (no mid-run cache swaps or pool resizes; the old
+    [set_jobs] could shut a pool down under a running sweep), and its
+    shutdown is idempotent and race-free. *)
+module Ctx : sig
+  type t
 
-val problem_of_scenario : Ibench.Scenario.t -> Core.Problem.t
+  val create : ?cache : Cache.t -> ?jobs : int -> unit -> t
+  (** A fresh context. [jobs] defaults to {!Parallel.Pool.default_jobs}
+      ([PARALLEL_JOBS], else the recommended domain count); the pool itself
+      is created lazily on first {!pool} call. Raises [Invalid_argument]
+      on [jobs < 1]. *)
+
+  val cache : t -> Cache.t option
+
+  val jobs : t -> int
+
+  val pool : t -> Parallel.Pool.t
+  (** The context's shared worker pool, created on first use. Thread-safe.
+      Raises [Invalid_argument] after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Joins the pool's workers (if one was created) and closes the context.
+      Idempotent and safe to race: the pool is detached under a lock, so
+      exactly one caller joins it and later {!pool} calls fail instead of
+      resurrecting workers. *)
+
+  val warm_find : t -> string -> Core.Cmd.warm option
+  (** The warm-start state last stored under a sweep-point key. *)
+
+  val warm_set : t -> string -> Core.Cmd.warm -> unit
+
+  val warm_clear : t -> unit
+  (** Drops all stored warm states (e.g. between unrelated sweeps). *)
+
+  val with_ctx : ?cache : Cache.t -> ?jobs : int -> (t -> 'a) -> 'a
+  (** [create], run, [shutdown] — even on exceptions. *)
+end
+
+val problem_of_scenario : Ctx.t -> Ibench.Scenario.t -> Core.Problem.t
 (** Chases the source instance per candidate and precomputes degrees,
-    memoized through {!cache} when one is set. The noise sweeps re-solve
-    near-identical scenarios per seed, so warm runs skip most chases. *)
+    memoized through the context's cache when one is set. The noise sweeps
+    re-solve near-identical scenarios per seed, so warm runs skip most
+    chases. *)
 
 type outcome = {
   selection : bool array;
@@ -30,9 +71,24 @@ type outcome = {
 }
 
 val run_solver :
-  solver -> Ibench.Scenario.t -> Core.Problem.t -> outcome
+  Ctx.t ->
+  ?warm_key : string ->
+  solver ->
+  Ibench.Scenario.t ->
+  Core.Problem.t ->
+  outcome
 (** Runs one solver; [runtime_ms] covers only the solve, not the
-    precomputation. *)
+    precomputation. With [warm_key] and {!Cmd_solver}, the solve warm-starts
+    from the state stored under that key (if any) and stores its own state
+    back — sweep runners use one key per (dimension, seed, level) point, so
+    a re-served sweep restarts each ADMM from its own previous fixed point;
+    {!Core.Cmd.solve} applies the state only on an exact ground-model
+    match, so selections are bit-identical to the cold path. When the
+    context carries a cache, the warm path additionally serves exact
+    repeats from the cache's selection tier without solving at all.
+    [warm_key] is ignored for other solvers. May raise
+    {!Core.Solver_error.Error} (e.g. {!Exact_solver} on oversized
+    problems). *)
 
 val noise_config :
   ?rows : int ->
@@ -46,23 +102,12 @@ val noise_config :
 (** The standard experiment configuration: all seven primitives once, 8 rows
     per relation, unless overridden. *)
 
-val jobs : unit -> int
-(** The suite's parallelism degree: {!set_jobs} override when set, else
-    [PARALLEL_JOBS], else [Domain.recommended_domain_count ()]. *)
-
-val set_jobs : int -> unit
-(** CLI override (`--jobs`). Shuts down a previously created shared pool so
-    the next {!pool} call resizes. Raises [Invalid_argument] on [j < 1]. *)
-
-val pool : unit -> Parallel.Pool.t
-(** The shared, lazily created worker pool of the experiment suite, sized
-    by {!jobs}. Thread-safe. *)
-
-val parallel_map : ('a -> 'b) -> 'a list -> 'b list
-(** [List.map f xs] fanned out over {!pool}, one task per element; results
-    keep list order and are bit-identical to the sequential map for pure
-    [f]. Runs inline when {!jobs}[ () <= 1] or when already on a pool
-    worker (nested fan-out), without spawning the shared pool. *)
+val parallel_map : Ctx.t -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f xs] fanned out over the context's pool, one task per
+    element; results keep list order and are bit-identical to the
+    sequential map for pure [f]. Runs inline when [Ctx.jobs ctx <= 1] or
+    when already on a pool worker (nested fan-out), without spawning the
+    shared pool. *)
 
 val fmt_f : float -> string
 (** Two decimals. *)

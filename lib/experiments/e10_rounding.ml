@@ -14,7 +14,7 @@ let variants =
       { Core.Cmd.default_options with Core.Cmd.squared = true } );
   ]
 
-let run ?(seeds = E2_parameters.seeds) () =
+let run ?(seeds = E2_parameters.seeds) ctx =
   let scenarios =
     List.map
       (fun seed ->
@@ -23,7 +23,7 @@ let run ?(seeds = E2_parameters.seeds) () =
             (Common.noise_config ~seed ~pi_corresp:50 ~pi_errors:25
                ~pi_unexplained:25 ())
         in
-        (s, Common.problem_of_scenario s))
+        (s, Common.problem_of_scenario ctx s))
       seeds
   in
   let rows =

@@ -4,4 +4,4 @@
     this ablation compares it against plain threshold rounding and against
     dropping the repair pass, on noisy scenarios. *)
 
-val run : ?seeds : int list -> unit -> Table.t
+val run : ?seeds : int list -> Common.Ctx.t -> Table.t

@@ -13,7 +13,7 @@ let appendix_degrees semantics =
   ( Util.Frac.to_string (Cover.covers stats.(0) ml_task),
     Util.Frac.to_string (Cover.covers stats.(1) ml_task) )
 
-let run ?(seeds = E2_parameters.seeds) () =
+let run ?(seeds = E2_parameters.seeds) ctx =
   let rows =
     List.map
       (fun semantics ->
@@ -28,7 +28,7 @@ let run ?(seeds = E2_parameters.seeds) () =
                         ~pi_unexplained:25 ())
                  in
                  let p =
-                   Core.Problem.make ~semantics
+                   Core.Problem.make ~semantics ?cache:(Common.Ctx.cache ctx)
                      ~source:s.Ibench.Scenario.instance_i
                      ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
                  in

@@ -8,4 +8,4 @@
     the corroborated semantics reproduces the published degrees, and on
     noisy scenarios. *)
 
-val run : ?seeds : int list -> unit -> Table.t
+val run : ?seeds : int list -> Common.Ctx.t -> Table.t

@@ -1,6 +1,6 @@
 let weight_grid = [ (1, 1, 1); (2, 1, 1); (4, 1, 1); (1, 1, 2); (1, 1, 4); (1, 4, 1) ]
 
-let run ?(seeds = [ 1; 2; 3 ]) () =
+let run ?(seeds = [ 1; 2; 3 ]) ctx =
   let scenarios =
     List.map
       (fun seed ->
@@ -19,7 +19,8 @@ let run ?(seeds = [ 1; 2; 3 ]) () =
           List.map
             (fun (s : Ibench.Scenario.t) ->
               let p =
-                Core.Problem.make ~weights ~source:s.Ibench.Scenario.instance_i
+                Core.Problem.make ~weights ?cache:(Common.Ctx.cache ctx)
+                  ~source:s.Ibench.Scenario.instance_i
                   ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
               in
               let r = Core.Cmd.solve p in

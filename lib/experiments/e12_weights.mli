@@ -1,4 +1,4 @@
 (** E12 — the weighted objective (appendix, Theorem 1 generalisation):
     sensitivity of the selection to the coverage/size trade-off. *)
 
-val run : ?seeds : int list -> unit -> Table.t
+val run : ?seeds : int list -> Common.Ctx.t -> Table.t

@@ -1,6 +1,6 @@
 open Util
 
-let run ?(blocks = [ 2; 4; 8; 16 ]) ?(seed = 5) () =
+let run ?(blocks = [ 2; 4; 8; 16 ]) ?(seed = 5) ctx =
   let rows =
     List.map
       (fun b ->
@@ -10,7 +10,7 @@ let run ?(blocks = [ 2; 4; 8; 16 ]) ?(seed = 5) () =
             ~pi_unexplained:10 ()
         in
         let s = Ibench.Generator.generate config in
-        let p = Common.problem_of_scenario s in
+        let p = Common.problem_of_scenario ctx s in
         match Core.Full.of_problem p with
         | Error msg -> [ string_of_int (2 * b); "not full: " ^ msg ]
         | Ok full ->

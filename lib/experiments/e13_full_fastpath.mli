@@ -6,4 +6,4 @@
     general solvers agree on the objective and compares their wall-clock
     time as the scenario grows. *)
 
-val run : ?blocks : int list -> ?seed : int -> unit -> Table.t
+val run : ?blocks : int list -> ?seed : int -> Common.Ctx.t -> Table.t

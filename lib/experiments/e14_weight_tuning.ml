@@ -1,30 +1,30 @@
-let scenario_problem seed =
+let scenario_problem ctx seed =
   let s =
     Ibench.Generator.generate
       (Common.noise_config ~seed ~pi_corresp:50 ~pi_errors:25 ~pi_unexplained:25 ())
   in
-  let p = Common.problem_of_scenario s in
+  let p = Common.problem_of_scenario ctx s in
   let gold =
     Core.Problem.selection_of_indices p s.Ibench.Scenario.ground_truth_indices
   in
   (s, p, gold)
 
-let eval weights seeds =
+let eval ctx weights seeds =
   Util.Stats.mean
     (List.map
        (fun seed ->
-         let s, p, _ = scenario_problem seed in
+         let s, p, _ = scenario_problem ctx seed in
          let r = Core.Cmd.solve (Core.Problem.with_weights p weights) in
          (Metrics.mapping_level ~candidates:s.Ibench.Scenario.candidates
             ~truth:s.Ibench.Scenario.ground_truth r.Core.Cmd.selection)
            .Metrics.f1)
        seeds)
 
-let run ?(train_seeds = [ 1; 2 ]) ?(test_seeds = [ 3; 4; 5 ]) () =
+let run ?(train_seeds = [ 1; 2 ]) ?(test_seeds = [ 3; 4; 5 ]) ctx =
   let training =
     List.map
       (fun seed ->
-        let _, p, gold = scenario_problem seed in
+        let _, p, gold = scenario_problem ctx seed in
         (p, gold))
       train_seeds
   in
@@ -35,8 +35,8 @@ let run ?(train_seeds = [ 1; 2 ]) ?(test_seeds = [ 3; 4; 5 ]) () =
       name;
       Printf.sprintf "(%d,%d,%d)" w.Core.Problem.w_unexplained
         w.Core.Problem.w_errors w.Core.Problem.w_size;
-      Common.fmt_f (eval w train_seeds);
-      Common.fmt_f (eval w test_seeds);
+      Common.fmt_f (eval ctx w train_seeds);
+      Common.fmt_f (eval ctx w test_seeds);
     ]
   in
   Table.make ~id:"E14" ~title:"weight calibration on labelled scenarios"

@@ -4,4 +4,4 @@
     scenarios ({!Core.Tune}) and evaluated on held-out scenarios under the
     same noise profile, against the paper's default (1,1,1). *)
 
-val run : ?train_seeds : int list -> ?test_seeds : int list -> unit -> Table.t
+val run : ?train_seeds : int list -> ?test_seeds : int list -> Common.Ctx.t -> Table.t

@@ -65,7 +65,7 @@ let appendix_values () =
       (name, Core.Objective.value p (Core.Problem.selection_of_indices p idx)))
     subsets
 
-let run () =
+let run (_ : Common.Ctx.t) =
   let p = problem ~extra:0 in
   let rows =
     List.map

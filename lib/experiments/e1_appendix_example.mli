@@ -1,7 +1,7 @@
 (** E1 — the appendix's worked example (its objective table, reproduced
     exactly), plus the preference flip after adding five ML-like projects. *)
 
-val run : unit -> Table.t
+val run : Common.Ctx.t -> Table.t
 
 val appendix_values : unit -> (string * Util.Frac.t) list
 (** The four objective values [({}, 4); ({θ1}, 7 1/3); ...] as computed by

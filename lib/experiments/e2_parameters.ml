@@ -2,7 +2,7 @@ let noise_levels = [ 0; 10; 25; 50 ]
 
 let seeds = [ 1; 2; 3; 4; 5 ]
 
-let run () =
+let run (_ : Common.Ctx.t) =
   let d = Ibench.Config.default in
   let levels = String.concat ", " (List.map string_of_int noise_levels) in
   Table.make ~id:"E2" ~title:"scenario generation parameters (Table I)"

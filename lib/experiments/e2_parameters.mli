@@ -7,4 +7,4 @@ val noise_levels : int list
 val seeds : int list
 (** Seeds every averaged experiment uses: [1..5]. *)
 
-val run : unit -> Table.t
+val run : Common.Ctx.t -> Table.t

@@ -1,1 +1,1 @@
-let run () = Noise_sweep.run ~id:"E3" Noise_sweep.Errors
+let run ctx = Noise_sweep.run ctx ~id:"E3" Noise_sweep.Errors

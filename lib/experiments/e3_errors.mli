@@ -1,3 +1,3 @@
 (** E3 — figure: selection quality as piErrors grows. *)
 
-val run : unit -> Table.t
+val run : Common.Ctx.t -> Table.t

@@ -1,1 +1,1 @@
-let run () = Noise_sweep.run ~id:"E4" Noise_sweep.Unexplained
+let run ctx = Noise_sweep.run ctx ~id:"E4" Noise_sweep.Unexplained

@@ -1,3 +1,3 @@
 (** E4 — figure: selection quality as piUnexplained grows. *)
 
-val run : unit -> Table.t
+val run : Common.Ctx.t -> Table.t

@@ -1,1 +1,1 @@
-let run () = Noise_sweep.run ~id:"E5" Noise_sweep.Corresp
+let run ctx = Noise_sweep.run ctx ~id:"E5" Noise_sweep.Corresp

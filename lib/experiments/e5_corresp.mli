@@ -1,3 +1,3 @@
 (** E5 — figure: selection quality as piCorresp grows (spurious metadata). *)
 
-val run : unit -> Table.t
+val run : Common.Ctx.t -> Table.t

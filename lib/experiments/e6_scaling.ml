@@ -1,6 +1,6 @@
 open Util
 
-let run ?(blocks = [ 1; 2; 4; 8; 16 ]) ?(seed = 1) () =
+let run ?(blocks = [ 1; 2; 4; 8; 16 ]) ?(seed = 1) ctx =
   let rows =
     List.map
       (fun b ->
@@ -13,7 +13,7 @@ let run ?(blocks = [ 1; 2; 4; 8; 16 ]) ?(seed = 1) () =
         in
         let scenario, gen_ms = Timer.time_ms (fun () -> Ibench.Generator.generate config) in
         let problem, pre_ms =
-          Timer.time_ms (fun () -> Common.problem_of_scenario scenario)
+          Timer.time_ms (fun () -> Common.problem_of_scenario ctx scenario)
         in
         let m = Core.Problem.num_candidates problem in
         let cmd, cmd_ms = Timer.time_ms (fun () -> Core.Cmd.solve problem) in

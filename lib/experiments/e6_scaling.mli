@@ -7,5 +7,5 @@
     and bound (skipped beyond 20 candidates, where it blows up — that is the
     point of the figure). *)
 
-val run : ?blocks : int list -> ?seed : int -> unit -> Table.t
+val run : ?blocks : int list -> ?seed : int -> Common.Ctx.t -> Table.t
 (** Default blocks: [1; 2; 4; 8; 16]. *)

@@ -1,4 +1,4 @@
-let run ?(seeds = E2_parameters.seeds) () =
+let run ?(seeds = E2_parameters.seeds) ctx =
   (* the (primitive, seed) grid fans out over the shared pool; regrouping
      below preserves seed order so the averages match a sequential run *)
   let grid =
@@ -7,7 +7,7 @@ let run ?(seeds = E2_parameters.seeds) () =
       Ibench.Primitive.all
   in
   let solved =
-    Common.parallel_map
+    Common.parallel_map ctx
       (fun (kind, seed) ->
         (* 40 rows: enough data that even the low-coverage ADD/ADL
            primitives (whose invented-value positions never count as
@@ -18,10 +18,10 @@ let run ?(seeds = E2_parameters.seeds) () =
             ~seed ~pi_corresp:25 ~pi_errors:25 ~pi_unexplained:25 ()
         in
         let s = Ibench.Generator.generate config in
-        let p = Common.problem_of_scenario s in
+        let p = Common.problem_of_scenario ctx s in
         ( kind,
-          ( Common.run_solver Common.Cmd_solver s p,
-            Common.run_solver Common.Greedy_solver s p ) ))
+          ( Common.run_solver ctx Common.Cmd_solver s p,
+            Common.run_solver ctx Common.Greedy_solver s p ) ))
       grid
   in
   let rows =

@@ -1,4 +1,4 @@
 (** E7 — table: selection quality per iBench primitive type under mixed
     noise. *)
 
-val run : ?seeds : int list -> unit -> Table.t
+val run : ?seeds : int list -> Common.Ctx.t -> Table.t

@@ -1,6 +1,6 @@
 open Util
 
-let run ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) () =
+let run ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) ctx =
   let primitives = Ibench.Primitive.[ (CP, 1); (ME, 1); (VP, 1) ] in
   let results =
     List.filter_map
@@ -10,7 +10,7 @@ let run ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) () =
             ~pi_unexplained:25 ()
         in
         let s = Ibench.Generator.generate config in
-        let p = Common.problem_of_scenario s in
+        let p = Common.problem_of_scenario ctx s in
         if Core.Problem.num_candidates p > 18 then None
         else
           let opt = Core.Objective.value p (Core.Exact.solve p) in

@@ -1,4 +1,4 @@
 (** E8 — figure: how close CMD's rounded solution gets to the exact optimum
     on scenarios small enough for branch and bound. *)
 
-val run : ?seeds : int list -> unit -> Table.t
+val run : ?seeds : int list -> Common.Ctx.t -> Table.t

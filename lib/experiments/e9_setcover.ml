@@ -27,7 +27,7 @@ let brute_force_cover (inst : Core.Setcover.instance) =
       && List.sort_uniq String.compare (List.concat_map snd chosen) = universe)
     (List.init (1 lsl n) Fun.id)
 
-let run ?(count = 8) () =
+let run ?(count = 8) (_ : Common.Ctx.t) =
   let rng = Random.State.make [| 2017 |] in
   let rows =
     List.init count (fun i ->

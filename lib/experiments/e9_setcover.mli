@@ -6,4 +6,4 @@
     obtained through exact mapping selection against brute-force set
     cover. *)
 
-val run : ?count : int -> unit -> Table.t
+val run : ?count : int -> Common.Ctx.t -> Table.t

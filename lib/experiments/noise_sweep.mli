@@ -3,7 +3,12 @@
     For each noise level of the swept parameter (other noise parameters 0)
     and each seed, a scenario is generated, the selection problem built, and
     each solver run; the table reports the mapping-level and tuple-level F1
-    averaged over seeds. *)
+    averaged over seeds. Seeds fan out over the context's pool; each CMD
+    solve carries a per-(sweep, seed, level) warm key
+    ({!Common.run_solver}'s [warm_key]), so re-serving a sweep under the
+    same context warm-starts each point from its own previous ADMM state —
+    the table is bit-identical to a cold sequential sweep for any
+    [jobs]. *)
 
 type dimension =
   | Errors  (** sweep piErrors — E3 *)
@@ -11,6 +16,7 @@ type dimension =
   | Corresp  (** sweep piCorresp — E5 *)
 
 val run :
+  Common.Ctx.t ->
   ?levels : int list ->
   ?seeds : int list ->
   ?solvers : Common.solver list ->

@@ -1,7 +1,9 @@
 (* Every runner is wrapped in an [experiment.<id>] span at registration, so
    both the `find` path (single ids from the CLI) and `run_all` are traced. *)
 let spanned (id, desc, run) =
-  (id, desc, fun () -> Telemetry.with_span ("experiment." ^ id) run)
+  ( id,
+    desc,
+    fun ctx -> Telemetry.with_span ("experiment." ^ id) (fun () -> run ctx) )
 
 let all =
   List.map spanned
@@ -12,16 +14,19 @@ let all =
     ("E3", "figure: quality vs piErrors", E3_errors.run);
     ("E4", "figure: quality vs piUnexplained", E4_unexplained.run);
     ("E5", "figure: quality vs piCorresp", E5_corresp.run);
-    ("E6", "figure: runtime scaling", (fun () -> E6_scaling.run ()));
-    ("E7", "table: quality per primitive", (fun () -> E7_per_primitive.run ()));
-    ("E8", "figure: CMD vs exact optimum", (fun () -> E8_relaxation_gap.run ()));
-    ("E9", "Theorem 1: SET COVER reduction", (fun () -> E9_setcover.run ()));
-    ("E10", "ablation: CMD rounding strategy", (fun () -> E10_rounding.run ()));
-    ("E11", "ablation: coverage semantics", (fun () -> E11_semantics.run ()));
-    ("E12", "weighted objective sensitivity", (fun () -> E12_weights.run ()));
-    ("E13", "Eq. 4 fast path on full tgds", (fun () -> E13_full_fastpath.run ()));
+    ("E6", "figure: runtime scaling", (fun ctx -> E6_scaling.run ctx));
+    ("E7", "table: quality per primitive",
+     (fun ctx -> E7_per_primitive.run ctx));
+    ("E8", "figure: CMD vs exact optimum",
+     (fun ctx -> E8_relaxation_gap.run ctx));
+    ("E9", "Theorem 1: SET COVER reduction", (fun ctx -> E9_setcover.run ctx));
+    ("E10", "ablation: CMD rounding strategy", (fun ctx -> E10_rounding.run ctx));
+    ("E11", "ablation: coverage semantics", (fun ctx -> E11_semantics.run ctx));
+    ("E12", "weighted objective sensitivity", (fun ctx -> E12_weights.run ctx));
+    ("E13", "Eq. 4 fast path on full tgds",
+     (fun ctx -> E13_full_fastpath.run ctx));
     ("E14", "weight calibration on labelled scenarios",
-     (fun () -> E14_weight_tuning.run ()));
+     (fun ctx -> E14_weight_tuning.run ctx));
   ]
 
 let find id =
@@ -30,18 +35,18 @@ let find id =
       if String.equal (String.uppercase_ascii id) id' then Some run else None)
     all
 
-(* Experiments are independent of one another, so with a pool each runs on
-   a worker and only the rendered tables are printed — in registry order,
-   whatever the completion order. An experiment's own per-seed fan-out
-   (Common.parallel_map) detects it is on a worker and runs inline. *)
-let run_all ?pool ppf =
-  match pool with
-  | None ->
+(* Experiments are independent of one another, so with more than one job
+   each runs on a worker of the context's pool and only the rendered tables
+   are printed — in registry order, whatever the completion order. An
+   experiment's own per-seed fan-out (Common.parallel_map) detects it is on
+   a worker and runs inline. *)
+let run_all ctx ppf =
+  if Common.Ctx.jobs ctx <= 1 then
     List.iter
-      (fun (_, _, run) -> Format.fprintf ppf "%a@." Table.pp (run ()))
+      (fun (_, _, run) -> Format.fprintf ppf "%a@." Table.pp (run ctx))
       all
-  | Some pool ->
-    Parallel.Pool.parallel_map_list ~chunk:1 pool
-      (fun (_, _, run) -> Format.asprintf "%a" Table.pp (run ()))
+  else
+    Parallel.Pool.parallel_map_list ~chunk:1 (Common.Ctx.pool ctx)
+      (fun (_, _, run) -> Format.asprintf "%a" Table.pp (run ctx))
       all
     |> List.iter (Format.fprintf ppf "%s@.")

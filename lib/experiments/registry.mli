@@ -1,13 +1,16 @@
-(** The experiment registry: every table/figure of the reproduction, by id. *)
+(** The experiment registry: every table/figure of the reproduction, by id.
+    Runners take the solver context ({!Common.Ctx}) that carries the cache,
+    the parallelism degree and the warm-start store. *)
 
-val all : (string * string * (unit -> Table.t)) list
-(** [(id, one-line description, runner)] for E1..E9, in order. *)
+val all : (string * string * (Common.Ctx.t -> Table.t)) list
+(** [(id, one-line description, runner)] for E1..E14, in order. *)
 
-val find : string -> (unit -> Table.t) option
+val find : string -> (Common.Ctx.t -> Table.t) option
 (** Case-insensitive lookup by id. *)
 
-val run_all : ?pool : Parallel.Pool.t -> Format.formatter -> unit
+val run_all : Common.Ctx.t -> Format.formatter -> unit
 (** Runs every experiment and prints its table, in registry order. With
-    [pool] the (mutually independent) experiments run concurrently on the
-    worker domains; tables are rendered off-formatter and printed in
-    registry order, so the output is identical to a sequential run. *)
+    [Ctx.jobs ctx > 1] the (mutually independent) experiments run
+    concurrently on the context's pool; tables are rendered off-formatter
+    and printed in registry order, so the output is identical to a
+    sequential run. *)

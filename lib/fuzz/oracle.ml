@@ -174,7 +174,8 @@ let check_solver_order ctx =
       let values =
         List.map
           (fun impl ->
-            (Solver.name impl, Objective.value p (Solver.solve impl ~seed p)))
+            ( Solver.name impl,
+              Objective.value p (Solver.solve impl ~seed p).Solver.selection ))
           Solver.all
       in
       let v name = List.assoc name values in
@@ -421,9 +422,13 @@ let check_cache_identity ctx =
         List.find_map
           (fun name ->
             let impl = Option.get (Solver.find name) in
-            let plain = Solver.solve impl ~seed p_plain in
-            let cold = Solver.solve impl ~seed ~cache p_cold in
-            let warm = Solver.solve impl ~seed ~cache p_warm in
+            let plain = (Solver.solve impl ~seed p_plain).Solver.selection in
+            let cold =
+              (Solver.solve impl ~seed ~cache p_cold).Solver.selection
+            in
+            let warm =
+              (Solver.solve impl ~seed ~cache p_warm).Solver.selection
+            in
             if plain <> cold then
               Some (name ^ ": cold cached selection differs")
             else if plain <> warm then
@@ -584,6 +589,72 @@ let check_core_solution ctx =
           failf "coring grew K_M: %d produced tuples uncored, %d cored" plain
             cored
 
+(* --- warm-start: warm solves are bit-identical to cold ------------------ *)
+
+(* The sweep machinery re-serves a point from its own ADMM state
+   (Common.run_solver's warm_key) and the portfolio races the registry
+   roster; both are only sound if (a) a warm-started CMD solve returns
+   exactly the cold selection — on the same problem, where the state is
+   applied, and on a neighbouring one, where the partial Grounding.delta
+   must make Cmd fall back to the cold start — and (b) a portfolio race is
+   a pure function of (problem, seed). *)
+let check_warm_start ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping m ->
+    let p = Option.get (Lazy.force ctx.problem) in
+    (* portfolio runs exact too; bound the problem like solver-order *)
+    if Problem.num_candidates p > 8 || Problem.num_tuples p > 40 then Skip
+    else
+      let cold = Cmd.solve p in
+      let self = Cmd.solve ~warm:cold.Cmd.warm_out p in
+      if self.Cmd.selection <> cold.Cmd.selection then
+        failf "self-warm-started CMD differs from cold: %s vs %s"
+          (selection_to_string self.Cmd.selection)
+          (selection_to_string cold.Cmd.selection)
+      else
+        let neighbour_mismatch =
+          match List.rev m.Case.candidates with
+          | [] | [ _ ] -> None (* no neighbouring problem to derive *)
+          | _ :: rest ->
+            let q = Case.problem { m with Case.candidates = List.rev rest } in
+            let q_cold = Cmd.solve q in
+            let q_warm = Cmd.solve ~warm:cold.Cmd.warm_out q in
+            if q_warm.Cmd.selection <> q_cold.Cmd.selection then
+              Some
+                (Printf.sprintf
+                   "neighbour warm-started CMD differs from cold: %s vs %s"
+                   (selection_to_string q_warm.Cmd.selection)
+                   (selection_to_string q_cold.Cmd.selection))
+            else None
+        in
+        (match neighbour_mismatch with
+        | Some msg -> Fail msg
+        | None -> (
+          let impl = Option.get (Solver.find "portfolio") in
+          let seed = ctx.case.Case.seed land 0xFFFFFF in
+          let r1 = (Solver.solve impl ~seed p).Solver.selection in
+          let r2 = (Solver.solve impl ~seed p).Solver.selection in
+          if r1 <> r2 then
+            Fail "portfolio race is not deterministic in (problem, seed)"
+          else
+            (* the race returns the best (or a provably optimal) roster
+               result, so no individually-run roster member may beat it *)
+            let vp = Objective.value p r1 in
+            let beaten name sel =
+              if Frac.compare vp (Objective.value p sel) <= 0 then None
+              else
+                Some
+                  (Printf.sprintf "portfolio (F = %s) beaten by %s"
+                     (Frac.to_string vp) name)
+            in
+            match beaten "cmd" cold.Cmd.selection with
+            | Some msg -> Fail msg
+            | None -> (
+              match beaten "greedy" (Greedy.solve p) with
+              | Some msg -> Fail msg
+              | None -> Pass)))
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -632,6 +703,11 @@ let all =
       name = "core-solution";
       doc = "the core is a sub-instance, equivalent both ways, idempotent";
       check = check_core_solution;
+    };
+    {
+      name = "warm-start";
+      doc = "warm-started CMD equals cold; portfolio races deterministically";
+      check = check_warm_start;
     };
   ]
 

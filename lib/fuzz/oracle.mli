@@ -2,7 +2,7 @@
     appendix (and the engine's own contracts) pin down, as named checks over
     fuzz cases.
 
-    The nine families:
+    The ten families:
 
     - [eq4-eq9] — on full-tgd scenarios the Eq. 4 bitset fast path
       ({!Core.Full}) and the general Eq. 9 evaluator agree on every probed
@@ -36,7 +36,15 @@
     - [core-solution] — the core of the chased target is a sub-instance
       retaining every ground tuple, homomorphically equivalent to it in
       both directions, idempotent, and coring never grows the produced
-      [K_M].
+      [K_M];
+    - [warm-start] — a {!Core.Cmd} solve warm-started from a previous
+      solve's ADMM state ({!Core.Cmd.warm}) returns the cold selection
+      bit-for-bit, both on the same problem (exact model match, state
+      applied) and on a neighbouring one (last candidate dropped — the
+      {!Psl.Grounding.delta} mismatch makes Cmd fall back to the cold
+      start); and a sequential {!Core.Portfolio} race is deterministic in
+      [(problem, seed)] and never beaten by an individually-run roster
+      member.
 
     Checks are deterministic functions of the case: auxiliary randomness
     (probed selections, flip sequences, permutations) is derived from the
@@ -62,7 +70,7 @@ type t = {
 }
 
 val all : t list
-(** The nine families, in the order above. *)
+(** The ten families, in the order above. *)
 
 val names : string list
 

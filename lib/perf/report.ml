@@ -401,6 +401,14 @@ let gate ?(band = 3.0) ~baseline ~fresh () =
           bad "ratio core.km_shrink fell below 1: %.3f (coring grew K_M)"
             f.value)
       fresh.ratios;
+    (* likewise a hard floor: warm-started sweeps must stay >= 5x over the
+       cold grid — the whole point of chaining chase hits and ADMM state
+       through a sweep — independent of whatever the baseline measured *)
+    List.iter
+      (fun (f : ratio) ->
+        if f.r_name = "sweep.warm_speedup" && f.value < 5.0 then
+          bad "ratio sweep.warm_speedup fell below 5: %.3f" f.value)
+      fresh.ratios;
     List.iter
       (fun (b : kernel) ->
         match

@@ -160,10 +160,13 @@ let solve t ~progress (p : Protocol.solve_params) =
   emit progress ~event:"resolved" ~name:digest ();
   let seed = p.Protocol.seed in
   let selection =
-    Cache.selection t.cache ~solver:(Core.Solver.name impl) ~seed
-      ~problem_key:digest (fun () ->
-        Atomic.incr t.solves;
-        Core.Solver.solve impl ?seed problem)
+    try
+      Cache.selection t.cache ~solver:(Core.Solver.name impl) ~seed
+        ~problem_key:digest (fun () ->
+          Atomic.incr t.solves;
+          (Core.Solver.solve impl ?seed problem).Core.Solver.selection)
+    with Core.Solver_error.Error { solver; reason } ->
+      fail (Protocol.Solver_failure solver) "solver %s: %s" solver reason
   in
   let b = Core.Objective.breakdown problem selection in
   emit progress ~event:"done" ();

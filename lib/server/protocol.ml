@@ -24,6 +24,7 @@ type error_kind =
   | Invalid_request
   | Unknown_method of string
   | Unknown_solver of string
+  | Solver_failure of string
   | Bad_scenario
   | Unsupported_case
   | Overloaded
@@ -42,6 +43,7 @@ let kind_label = function
   | Invalid_request -> "invalid_request"
   | Unknown_method _ -> "unknown_method"
   | Unknown_solver _ -> "unknown_solver"
+  | Solver_failure _ -> "solver_error"
   | Bad_scenario -> "bad_scenario"
   | Unsupported_case -> "unsupported_case"
   | Overloaded -> "overloaded"

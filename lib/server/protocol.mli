@@ -67,6 +67,10 @@ type error_kind =
   | Invalid_request  (** valid JSON, not a valid call envelope *)
   | Unknown_method of string
   | Unknown_solver of string
+  | Solver_failure of string
+      (** a registered solver refused the problem with a typed
+          {!Core.Solver_error.Error} (e.g. [exact] past its candidate
+          limit); carries the solver name *)
   | Bad_scenario  (** unparseable or unreadable scenario *)
   | Unsupported_case
       (** a [case_seed] that generates a SET COVER case — those exercise

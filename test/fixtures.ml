@@ -207,11 +207,14 @@ type golden_scenario = {
 }
 
 let golden_problem g =
-  Experiments.Common.problem_of_scenario
-    (Ibench.Generator.generate
-       (Experiments.Common.noise_config ~seed:g.g_seed
-          ~pi_corresp:g.g_pi_corresp ~pi_errors:g.g_pi_errors
-          ~pi_unexplained:g.g_pi_unexplained ()))
+  let s =
+    Ibench.Generator.generate
+      (Experiments.Common.noise_config ~seed:g.g_seed
+         ~pi_corresp:g.g_pi_corresp ~pi_errors:g.g_pi_errors
+         ~pi_unexplained:g.g_pi_unexplained ())
+  in
+  Core.Problem.make ~source:s.Ibench.Scenario.instance_i
+    ~j:s.Ibench.Scenario.instance_j s.Ibench.Scenario.candidates
 
 let golden_scenarios =
   [

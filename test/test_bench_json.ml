@@ -1,6 +1,6 @@
 (* The machine-readable perf trajectory (lib/perf).
 
-   Schema-validates the committed BENCH_8.json (required keys, monotone
+   Schema-validates the committed BENCH_9.json (required keys, monotone
    timestamps, finite positive ratios), pins the JSON round trip, and
    demonstrates that the regression gate flags an injected slowdown. *)
 
@@ -227,7 +227,7 @@ let find_bench_json () =
   let rec up dir n =
     if n < 0 then None
     else
-      let candidate = Filename.concat dir "BENCH_8.json" in
+      let candidate = Filename.concat dir "BENCH_9.json" in
       if Sys.file_exists candidate then Some candidate
       else
         let parent = Filename.dirname dir in
@@ -240,17 +240,17 @@ let test_committed_report_validates () =
   | None -> () (* no baseline checked out — nothing to validate *)
   | Some path -> (
     match Report.load path with
-    | Error msg -> Alcotest.failf "BENCH_8.json did not load: %s" msg
+    | Error msg -> Alcotest.failf "BENCH_9.json did not load: %s" msg
     | Ok r ->
       Alcotest.(check (list string)) "schema-clean" [] (Report.validate r);
-      Alcotest.(check int) "trajectory index" 8 r.Report.bench)
+      Alcotest.(check int) "trajectory index" 9 r.Report.bench)
 
 let test_committed_report_self_gates () =
   match find_bench_json () with
   | None -> ()
   | Some path -> (
     match Report.load path with
-    | Error msg -> Alcotest.failf "BENCH_8.json did not load: %s" msg
+    | Error msg -> Alcotest.failf "BENCH_9.json did not load: %s" msg
     | Ok r -> (
       Alcotest.(check (list string))
         "baseline gates itself" []
@@ -315,7 +315,7 @@ let () =
         ] );
       ( "committed",
         [
-          Alcotest.test_case "BENCH_8.json is schema-clean" `Quick
+          Alcotest.test_case "BENCH_9.json is schema-clean" `Quick
             test_committed_report_validates;
           Alcotest.test_case "baseline self-gates and catches 10x" `Quick
             test_committed_report_self_gates;

@@ -680,9 +680,9 @@ let edge_case_tests =
     Alcotest.test_case "exact candidate limit enforced" `Quick (fun () ->
         let p = appendix_problem () in
         Alcotest.(check bool)
-          "raises" true
+          "raises a typed solver error" true
           (match Exact.solve ~max_candidates:1 p with
-          | exception Invalid_argument _ -> true
+          | exception Solver_error.Error { solver = "exact"; _ } -> true
           | _ -> false));
     Alcotest.test_case "objective explains accessor" `Quick (fun () ->
         let p = appendix_problem () in

@@ -2,6 +2,9 @@ open Util
 
 let frac = Alcotest.testable Frac.pp Frac.equal
 
+(* jobs:1 — the smoke runs stay sequential and never spawn the pool *)
+let ctx = Experiments.Common.Ctx.create ~jobs:1 ()
+
 let registry_tests =
   [
     Alcotest.test_case "all fourteen experiments are registered" `Quick
@@ -40,7 +43,7 @@ let e1_tests =
             Alcotest.check frac name want got)
           values expected);
     Alcotest.test_case "E1 table has four rows" `Quick (fun () ->
-        let t = Experiments.E1_appendix_example.run () in
+        let t = Experiments.E1_appendix_example.run ctx in
         Alcotest.(check int) "rows" 4 (List.length t.Experiments.Table.rows));
   ]
 
@@ -49,12 +52,12 @@ let e1_tests =
 let smoke_tests =
   [
     Alcotest.test_case "E2 renders" `Quick (fun () ->
-        let t = Experiments.E2_parameters.run () in
+        let t = Experiments.E2_parameters.run ctx in
         Alcotest.(check bool)
           "non-empty" true
           (String.length (Experiments.Table.to_string t) > 0));
     Alcotest.test_case "E9 reports no mismatch" `Quick (fun () ->
-        let t = Experiments.E9_setcover.run ~count:4 () in
+        let t = Experiments.E9_setcover.run ~count:4 ctx in
         List.iter
           (fun row ->
             match List.rev row with
@@ -62,7 +65,7 @@ let smoke_tests =
             | [] -> Alcotest.fail "empty row")
           t.Experiments.Table.rows);
     Alcotest.test_case "E11 appendix degrees per semantics" `Quick (fun () ->
-        let t = Experiments.E11_semantics.run ~seeds:[ 1 ] () in
+        let t = Experiments.E11_semantics.run ~seeds:[ 1 ] ctx in
         match t.Experiments.Table.rows with
         | [ corr; strict; generous ] ->
           Alcotest.(check (list string))
@@ -88,7 +91,7 @@ let sweep_tests =
   [
     Alcotest.test_case "tiny noise sweep runs end-to-end" `Quick (fun () ->
         let t =
-          Experiments.Noise_sweep.run ~levels:[ 0; 50 ] ~seeds:[ 1 ]
+          Experiments.Noise_sweep.run ctx ~levels:[ 0; 50 ] ~seeds:[ 1 ]
             ~solvers:[ Experiments.Common.Greedy_solver ] ~id:"Etest"
             Experiments.Noise_sweep.Errors
         in

@@ -216,7 +216,7 @@ let () =
         ] );
       ( "oracles",
         [
-          Alcotest.test_case "all seven families clean on 200 cases" `Quick
+          Alcotest.test_case "all oracle families clean on 200 cases" `Quick
             test_oracles_clean;
         ] );
       ( "fault-injection",

@@ -108,7 +108,8 @@ let transparency_tests =
       let name = Solver.name impl in
       Test.make
         ~name:(Printf.sprintf "%s is bit-identical with telemetry on/off" name)
-        ~count:(if String.equal name "cmd" then 15 else 50)
+        ~count:
+          (match name with "cmd" | "portfolio" -> 15 | _ -> 50)
         Fixtures.selection_problem_gen
         (fun p ->
           let off =
