@@ -55,7 +55,45 @@ let run_problem ~solver ~jobs ~cache ~weights ~candidates ~source ~j ~truth =
     Format.printf "mapping-level vs ground truth: %a@." Metrics.pp
       (Metrics.mapping_level ~candidates ~truth selection)
 
-let run file scenario seed solver jobs cache trace pi_corresp pi_errors
+(* Multi-hop mode: generate an S -> T -> U chain, compose the per-hop
+   candidate pools end-to-end with the mapping algebra, and select over the
+   composed pool against the final observed instance. The ground truth for
+   the mapping-level metric is the composition of the per-hop truths. *)
+let run_multihop ~solver ~jobs ~cache ~weights ~seed ~rows ~hops ~pi_corresp
+    ~pi_errors ~pi_unexplained =
+  let config =
+    {
+      Ibench.Multihop.default with
+      Ibench.Multihop.rows;
+      hops;
+      pi_corresp;
+      pi_errors;
+      pi_unexplained;
+      seed;
+    }
+  in
+  (match Ibench.Multihop.validate config with
+  | Ok () -> ()
+  | Error msg -> Cli.die "%s" msg);
+  let s = Ibench.Multihop.generate config in
+  Format.printf "%a@." Ibench.Multihop.pp_summary s;
+  let pools = Ibench.Multihop.mappings s in
+  List.iteri
+    (fun i pool ->
+      Format.printf "hop %d: %d candidate tgds@." (i + 1) (List.length pool))
+    pools;
+  let candidates = Algebra.compose_all pools in
+  let truth =
+    Algebra.compose_all
+      (List.map
+         (fun (h : Ibench.Multihop.hop) -> h.Ibench.Multihop.ground_truth)
+         s.Ibench.Multihop.hops)
+  in
+  Format.printf "composed: %d end-to-end candidates@." (List.length candidates);
+  run_problem ~solver ~jobs ~cache ~weights ~candidates
+    ~source:s.Ibench.Multihop.source ~j:(Ibench.Multihop.target s) ~truth
+
+let run file scenario seed solver jobs cache trace hops pi_corresp pi_errors
     pi_unexplained rows w1 w2 w3 =
   Cli.install_trace trace;
   let cache = Cli.resolve_cache cache in
@@ -64,7 +102,27 @@ let run file scenario seed solver jobs cache trace pi_corresp pi_errors
       (String.concat ", " (Core.Solver.names ()));
   let weights = { Core.Problem.w_unexplained = w1; w_errors = w2; w_size = w3 } in
   let jobs = Cli.resolve_jobs jobs in
+  if hops > 1 && (scenario <> None || file <> None) then
+    Cli.die "--hops generates its own chain; drop --file/--scenario";
+  if hops > 1 then
+    run_multihop ~solver ~jobs ~cache ~weights ~seed ~rows ~hops ~pi_corresp
+      ~pi_errors ~pi_unexplained
+  else
   match scenario, file with
+  | Some name, _ when String.lowercase_ascii name = "pipeline" ->
+    (* the hand-crafted two-hop chain: compose the per-hop pools and select
+       end-to-end, like --hops but deterministic and human-readable *)
+    Format.printf "scenario pipeline: %s@." Scenarios.Pipeline.description;
+    List.iteri
+      (fun i pool ->
+        Format.printf "hop %d: %d candidate tgds@." (i + 1) (List.length pool))
+      Scenarios.Pipeline.pools;
+    let candidates = Algebra.compose_all Scenarios.Pipeline.pools in
+    Format.printf "composed: %d end-to-end candidates@."
+      (List.length candidates);
+    run_problem ~solver ~jobs ~cache ~weights ~candidates
+      ~source:Scenarios.Pipeline.initial ~j:Scenarios.Pipeline.final
+      ~truth:(Algebra.compose_all Scenarios.Pipeline.truth_pools)
   | Some name, _ -> (
     match Scenarios.Zoo.find name with
     | None ->
@@ -125,7 +183,9 @@ let file =
 
 let scenario =
   Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
-         ~doc:"A named scenario from the zoo (appendix, bibliography, hr, flights).")
+         ~doc:"A named scenario from the zoo (appendix, bibliography, hr, \
+               flights), or 'pipeline' — the two-hop chain selected over \
+               its end-to-end composition.")
 
 let seed = Cli.seed ~default:42 ~doc:"Generator seed."
 
@@ -134,6 +194,12 @@ let solver =
          ~doc:"Solver from the Core.Solver registry: cmd, greedy, local, \
                exact, anneal, all, or portfolio (race the roster, first \
                provably optimal or best objective wins).")
+
+let hops =
+  Arg.(value & opt int 1 & info [ "hops" ] ~docv:"N"
+         ~doc:"Generate a multi-hop chain of N mappings (2 or 3), compose \
+               them end-to-end with the mapping algebra and select over the \
+               composed pool. 1 (default) keeps the single-hop generator.")
 
 let pi name doc = Arg.(value & opt int 0 & info [ name ] ~doc)
 
@@ -147,7 +213,7 @@ let cmd =
     (Cmd.info "cmd_select" ~doc)
     Term.(
       const run $ file $ scenario $ seed $ solver $ Cli.jobs $ Cli.cache
-      $ Cli.trace
+      $ Cli.trace $ hops
       $ pi "pi-corresp" "Percent of target relations with random correspondences."
       $ pi "pi-errors" "Percent of non-certain error tuples deleted from J."
       $ pi "pi-unexplained" "Percent of non-certain unexplained tuples added to J."

@@ -58,7 +58,7 @@ let run_ids format jobs cache trace ids =
 
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID"
-         ~doc:"Experiment ids (E1..E13); all when omitted.")
+         ~doc:"Experiment ids (E1..E15); all when omitted.")
 
 let fmt_conv =
   Arg.conv

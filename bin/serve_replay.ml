@@ -39,7 +39,7 @@ let content_seeds ~seed ~distinct =
       | Fuzz.Case.Mapping _ ->
         out.(i) <- candidate;
         fill (i + 1) (candidate + 1)
-      | Fuzz.Case.Setcover _ -> fill i (candidate + 1)
+      | Fuzz.Case.Setcover _ | Fuzz.Case.Multihop _ -> fill i (candidate + 1)
   in
   fill 0 seed;
   out

@@ -1,52 +1,77 @@
 open Relational
 open Logic
 
-(* Freeze a variable into a reserved constant; the frozen namespace cannot
-   collide with ordinary constants as long as callers avoid the prefix. *)
-let frozen v = "__frz_" ^ v
+module Smap = Map.Make (String)
 
-let freeze_atoms atoms =
+(* Freeze variables into labeled nulls with negative labels. The frozen
+   namespace is collision-proof twice over: a tgd can only name ordinary
+   constants ([Term.Cst c] matches [Value.Const c] and nothing else), and the
+   chase invents its nulls from 0 upward, so negative labels never clash with
+   a null produced while chasing the frozen body. (The previous encoding
+   froze [v] into the ordinary constant ["__frz_" ^ v]; a tgd or instance
+   mentioning a real constant with that prefix made the test silently
+   unsound.) *)
+let freeze_map vars =
+  String_set.elements vars
+  |> List.mapi (fun i v -> (v, Value.Null (-i - 1)))
+  |> List.to_seq |> Smap.of_seq
+
+let freeze_atoms fm atoms =
   List.map
     (fun (a : Atom.t) ->
       let values =
         Array.map
-          (function
-            | Term.Var v -> Value.Const (frozen v)
-            | Term.Cst c -> Value.Const c)
+          (function Term.Var v -> Smap.find v fm | Term.Cst c -> Value.Const c)
           a.Atom.args
       in
       { Tuple.rel = a.Atom.rel; values })
     atoms
 
-let implies strong weak =
+let implied_through ~hops weak =
   (* Rename apart so freezing cannot capture variables across the tgds. *)
   let weak = Tgd.rename_apart ~suffix:"_w" weak in
-  let source = Instance.of_tuples (freeze_atoms weak.Tgd.body) in
-  let chased = Engine.universal_solution source [ strong ] in
+  let fm = freeze_map (Tgd.body_vars weak) in
+  let source = Instance.of_tuples (freeze_atoms fm weak.Tgd.body) in
+  (* One null source threads through every hop, so the labels invented while
+     chasing hop k can never collide with those carried over from hop k-1. *)
+  let nulls = Null_source.create () in
+  let chased =
+    List.fold_left
+      (fun inst hop -> Engine.universal_solution ~nulls inst hop)
+      source hops
+  in
   (* The frozen head must map into the chase result with frontier variables
-     pinned to their frozen constants. *)
+     pinned to their frozen values. *)
   let frontier = Tgd.frontier_vars weak in
   let pinned =
     String_set.fold
-      (fun v acc -> Subst.bind_exn v (Value.Const (frozen v)) acc)
+      (fun v acc -> Subst.bind_exn v (Smap.find v fm) acc)
       frontier Subst.empty
   in
   Cq.extensions chased pinned weak.Tgd.head <> []
 
+let implied_by ~by weak = implied_through ~hops:[ by ] weak
+
+let implies strong weak = implied_by ~by:[ strong ] weak
+
 let equivalent a b = implies a b && implies b a
+
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
 
 let minimize_tgd (tgd : Tgd.t) =
   let head_vars = Tgd.head_vars tgd in
+  let vars_of atoms =
+    List.fold_left
+      (fun acc a -> String_set.union acc (Atom.vars a))
+      String_set.empty atoms
+  in
+  (* Positional removal: dropping index [i] removes exactly one occurrence,
+     so a body sharing one physical atom twice shrinks one step at a time. *)
   let rec shrink (current : Tgd.t) =
-    let try_without atom =
-      let body = List.filter (fun a -> a != atom) current.Tgd.body in
+    let try_without i =
+      let body = remove_at i current.Tgd.body in
       if body = [] then None
       else
-        let vars_of atoms =
-          List.fold_left
-            (fun acc a -> String_set.union acc (Atom.vars a))
-            String_set.empty atoms
-        in
         let frontier_kept =
           String_set.subset
             (String_set.inter head_vars (vars_of current.Tgd.body))
@@ -59,7 +84,10 @@ let minimize_tgd (tgd : Tgd.t) =
           in
           if equivalent candidate current then Some candidate else None
     in
-    match List.find_map try_without current.Tgd.body with
+    match
+      List.find_map try_without
+        (List.init (List.length current.Tgd.body) Fun.id)
+    with
     | Some smaller -> shrink smaller
     | None -> current
   in

@@ -2,16 +2,36 @@
 
     [θ ⊨ θ'] iff every pair [(I, J)] satisfying [θ] also satisfies [θ'].
     The standard test freezes the body of [θ'] into a canonical source
-    instance (variables become distinct fresh constants), chases it with
-    [θ], and checks whether the frozen head of [θ'] is entailed — i.e.
-    whether the head maps homomorphically into the chase result with the
-    frontier variables fixed to their frozen constants.
+    instance, chases it with [θ], and checks whether the frozen head of
+    [θ'] is entailed — i.e. whether the head maps homomorphically into the
+    chase result with the frontier variables fixed to their frozen values.
+
+    Variables are frozen into labeled nulls with negative labels: a
+    namespace no tgd can name (a [Term.Cst] only matches a [Value.Const])
+    and that the chase never invents (its nulls are labeled from 0 upward).
+    This makes the test sound for arbitrary constants, including ones that
+    look like frozen variables.
 
     Implication is what candidate-set minimisation needs: a candidate
-    implied by another candidate of no greater size is redundant. *)
+    implied by another candidate of no greater size is redundant. The
+    set-level and multi-hop variants ({!implied_by}, {!implied_through})
+    are the primitives of the mapping algebra ({!Algebra}): whole-mapping
+    containment and the verification step of chase-based composition. *)
 
 val implies : Logic.Tgd.t -> Logic.Tgd.t -> bool
 (** [implies strong weak] is [true] iff [strong ⊨ weak]. *)
+
+val implied_by : by : Logic.Tgd.t list -> Logic.Tgd.t -> bool
+(** [implied_by ~by θ] is [true] iff the tgd set [by] logically implies [θ]:
+    the frozen body of [θ] chased with every tgd of [by] (one round — st
+    tgds never feed each other) entails the frozen head. *)
+
+val implied_through : hops : Logic.Tgd.t list list -> Logic.Tgd.t -> bool
+(** [implied_through ~hops:[m1; ...; mk] θ] decides whether [θ] holds in
+    the composition [m1 ∘ ... ∘ mk]: the frozen body of [θ] is chased with
+    [m1], the result with [m2], and so on (one shared null source, so hop
+    labels never collide), and the frozen head must be entailed by the final
+    instance. [implied_by ~by m] is [implied_through ~hops:[m]]. *)
 
 val equivalent : Logic.Tgd.t -> Logic.Tgd.t -> bool
 (** Mutual implication. Coarser than [Tgd.equal_up_to_renaming] — it also
@@ -24,7 +44,7 @@ val minimize : Logic.Tgd.t list -> Logic.Tgd.t list
     one is dropped. The relative order of survivors is preserved. *)
 
 val minimize_tgd : Logic.Tgd.t -> Logic.Tgd.t
-(** Removes redundant body atoms (greedily, keeping the tgd logically
-    equivalent), lowering [Tgd.size] and therefore the selection cost of an
-    otherwise identical candidate. The frontier is preserved: an atom whose
-    removal would unbind a head variable is kept. *)
+(** Removes redundant body atoms (greedily, by position, keeping the tgd
+    logically equivalent), lowering [Tgd.size] and therefore the selection
+    cost of an otherwise identical candidate. The frontier is preserved: an
+    atom whose removal would unbind a head variable is kept. *)

@@ -1,3 +1,14 @@
+(* A scenario that resolved (the file exists, or is inline) but cannot be
+   turned into a problem: parse errors, malformed corpus entries, a
+   multi-hop entry without 'compose on'. Typed rather than [failwith] so
+   the evaluator can report it as a positioned hard failure — never as an
+   [expect_failure] pass, which must come from the scenario's semantics,
+   not from the harness failing to read it. *)
+exception Scenario_error of string
+
+let scenario_error ~path fmt =
+  Printf.ksprintf (fun m -> raise (Scenario_error (path ^ ": " ^ m))) fmt
+
 type failure =
   | Mismatch of {
       index : int;
@@ -70,7 +81,7 @@ let problem_of_doc ?(core = false) ?cache ?weights (doc : Serialize.Document.t) 
     ~source:doc.Serialize.Document.instance_i
     ~j:doc.Serialize.Document.instance_j doc.Serialize.Document.tgds
 
-let problem_of_source ?cache (test : Rtest.test) source =
+let problem_of_source ~rtest ?cache (test : Rtest.test) source =
   let weights = weights_override test in
   let core = test.core in
   match source with
@@ -78,16 +89,31 @@ let problem_of_source ?cache (test : Rtest.test) source =
     match Serialize.Parser.parse (String.concat "\n" body) with
     | Ok doc -> problem_of_doc ~core ?cache ?weights doc
     | Error e ->
-      failwith (Format.asprintf "inline scenario: %a" Serialize.Parser.pp_error e))
+      scenario_error ~path:rtest "inline scenario: %s"
+        (Format.asprintf "%a" Serialize.Parser.pp_error e))
   | Src_file path when Filename.check_suffix path ".scn" -> (
     match Fuzz.Corpus.load path with
-    | Error msg -> failwith msg
+    | Error msg -> scenario_error ~path:rtest "%s" msg
     | Ok entry -> (
       match entry.Fuzz.Corpus.case.Fuzz.Case.payload with
       | Fuzz.Case.Mapping m ->
         let weights = Option.value weights ~default:m.Fuzz.Case.weights in
         Core.Problem.make ~weights ~core ?cache ~source:m.Fuzz.Case.source
           ~j:m.Fuzz.Case.j m.Fuzz.Case.candidates
+      | Fuzz.Case.Multihop mh ->
+        (* the end-to-end view of the chain: initial instance, final
+           observed instance, composed candidate pool *)
+        if not test.compose then
+          scenario_error ~path:rtest
+            "%s is a multi-hop corpus entry; add 'compose on'" path;
+        let weights = Option.value weights ~default:mh.Fuzz.Case.hop_weights in
+        let j =
+          match List.rev mh.Fuzz.Case.hops with
+          | (_, observed) :: _ -> observed
+          | [] -> Relational.Instance.empty
+        in
+        Core.Problem.make ~weights ~core ?cache ~source:mh.Fuzz.Case.initial ~j
+          (Algebra.compose_all (List.map fst mh.Fuzz.Case.hops))
       | Fuzz.Case.Setcover inst -> (
         (* a reduced SET COVER problem is prebuilt; [core] has no chase to
            act on and is ignored *)
@@ -99,7 +125,8 @@ let problem_of_source ?cache (test : Rtest.test) source =
     match Serialize.Parser.parse_file path with
     | Ok doc -> problem_of_doc ~core ?cache ?weights doc
     | Error e ->
-      failwith (Format.asprintf "%s: %a" path Serialize.Parser.pp_error e))
+      scenario_error ~path:rtest "%s: %s" path
+        (Format.asprintf "%a" Serialize.Parser.pp_error e))
 
 (* --- evaluation ---------------------------------------------------------- *)
 
@@ -110,8 +137,8 @@ type run_data = {
   counters : (string * int) list;
 }
 
-let pipeline (test : Rtest.test) source =
-  let build ?cache () = problem_of_source ?cache test source in
+let pipeline ~rtest (test : Rtest.test) source =
+  let build ?cache () = problem_of_source ~rtest ?cache test source in
   let problem = build () in
   let hard = ref [] in
   let add_hard m = hard := m :: !hard in
@@ -176,7 +203,7 @@ let has_counter (test : Rtest.test) =
    solver runs) in a reset/enabled telemetry window. Counters are
    process-global, which is why [run] keeps these tests out of the pool
    phase — they must not observe each other. *)
-let run_measured test source =
+let run_measured ~rtest test source =
   if has_counter test then begin
     let prev = Telemetry.enabled () in
     Fun.protect
@@ -184,10 +211,10 @@ let run_measured test source =
       (fun () ->
         Telemetry.reset ();
         Telemetry.set_enabled true;
-        let data = pipeline test source in
+        let data = pipeline ~rtest test source in
         { data with counters = Telemetry.counters () })
   end
-  else pipeline test source
+  else pipeline ~rtest test source
 
 let selection_of_labels (p : Core.Problem.t) labels =
   let sel = Array.make (Array.length p.Core.Problem.candidates) false in
@@ -311,7 +338,7 @@ let eval ~path (test : Rtest.test) =
     match resolve_source ~path test.scenario with
     | Error msg -> Fail [ Hard msg ]
     | Ok source -> (
-      match run_measured test source with
+      match run_measured ~rtest:path test source with
       | data -> (
         let failures = check test data in
         match flag with
@@ -323,6 +350,10 @@ let eval ~path (test : Rtest.test) =
           else Still_broken r
         | Some (Rtest.Skip _) | None ->
           if failures = [] then Pass else Fail failures)
+      | exception Scenario_error msg ->
+        (* hard even under expect_failure: the harness could not read the
+           scenario, so the "failure" would not be the scenario's *)
+        Fail [ Hard msg ]
       | exception e -> (
         match flag with
         | Some (Rtest.Expect_failure r) -> Xfail r

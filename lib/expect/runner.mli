@@ -16,6 +16,14 @@
     totals are jobs-invariant, but the counters themselves are
     process-global, so concurrent tests would observe each other). *)
 
+exception Scenario_error of string
+(** The scenario resolved but could not be turned into a problem: a parse
+    error, a malformed corpus entry, or a multi-hop entry without
+    [compose on]. Reported as a positioned hard failure (prefixed with the
+    [.rtest] path) even under [expect_failure] — an expected failure must
+    come from the scenario's semantics, not from the harness failing to
+    read it. *)
+
 type failure =
   | Mismatch of {
       index : int;  (** position in the test's [expects] list *)

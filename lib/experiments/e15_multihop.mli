@@ -1,0 +1,8 @@
+(** Multi-hop composition quality: end-to-end selection over the composed
+    candidate pool ({!Algebra.compose_all}) versus per-hop selection with
+    the winners composed afterwards, both scored mapping-level against the
+    composed ground truth across a noise sweep on {!Ibench.Multihop}
+    chains. *)
+
+val run :
+  ?pis : int list -> ?seeds : int list -> Common.Ctx.t -> Table.t

@@ -27,6 +27,8 @@ let all =
      (fun ctx -> E13_full_fastpath.run ctx));
     ("E14", "weight calibration on labelled scenarios",
      (fun ctx -> E14_weight_tuning.run ctx));
+    ("E15", "multi-hop: composed vs hop-by-hop selection",
+     (fun ctx -> E15_multihop.run ctx));
   ]
 
 let find id =

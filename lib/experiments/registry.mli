@@ -3,7 +3,7 @@
     the parallelism degree and the warm-start store. *)
 
 val all : (string * string * (Common.Ctx.t -> Table.t)) list
-(** [(id, one-line description, runner)] for E1..E14, in order. *)
+(** [(id, one-line description, runner)] for E1..E15, in order. *)
 
 val find : string -> (Common.Ctx.t -> Table.t) option
 (** Case-insensitive lookup by id. *)

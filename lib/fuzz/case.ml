@@ -8,9 +8,16 @@ type mapping = {
   weights : Core.Problem.weights;
 }
 
+type multihop = {
+  initial : Instance.t;
+  hops : (Tgd.t list * Instance.t) list;
+  hop_weights : Core.Problem.weights;
+}
+
 type payload =
   | Mapping of mapping
   | Setcover of Core.Setcover.instance
+  | Multihop of multihop
 
 type t = {
   seed : int;
@@ -22,15 +29,34 @@ let problem ?cache m =
   Core.Problem.make ?cache ~weights:m.weights ~source:m.source ~j:m.j
     m.candidates
 
+(* The end-to-end selection problem of a multi-hop case: candidates are the
+   composed hop pools, the data example is (initial, last observed). *)
+let multihop_problem ?cache mh =
+  let composed = Algebra.compose_all (List.map fst mh.hops) in
+  let j =
+    match List.rev mh.hops with
+    | (_, observed) :: _ -> observed
+    | [] -> Instance.empty
+  in
+  Core.Problem.make ?cache ~weights:mh.hop_weights ~source:mh.initial ~j
+    composed
+
 let num_candidates t =
   match t.payload with
   | Mapping m -> List.length m.candidates
   | Setcover s -> List.length s.Core.Setcover.sets
+  | Multihop mh ->
+    List.fold_left (fun n (tgds, _) -> n + List.length tgds) 0 mh.hops
 
 let num_tuples t =
   match t.payload with
   | Mapping m -> Instance.cardinal m.source + Instance.cardinal m.j
   | Setcover s -> List.length s.Core.Setcover.universe
+  | Multihop mh ->
+    List.fold_left
+      (fun n (_, observed) -> n + Instance.cardinal observed)
+      (Instance.cardinal mh.initial)
+      mh.hops
 
 let weights_equal (a : Core.Problem.weights) (b : Core.Problem.weights) =
   a.Core.Problem.w_unexplained = b.Core.Problem.w_unexplained
@@ -51,7 +77,20 @@ let equal a b =
          ma.candidates mb.candidates
     && weights_equal ma.weights mb.weights
   | Setcover sa, Setcover sb -> sa = sb
-  | Mapping _, Setcover _ | Setcover _, Mapping _ -> false
+  | Multihop ma, Multihop mb ->
+    Instance.equal ma.initial mb.initial
+    && weights_equal ma.hop_weights mb.hop_weights
+    && List.length ma.hops = List.length mb.hops
+    && List.for_all2
+         (fun (ta, oa) (tb, ob) ->
+           Instance.equal oa ob
+           && List.length ta = List.length tb
+           && List.for_all2
+                (fun (x : Tgd.t) (y : Tgd.t) ->
+                  x.Tgd.label = y.Tgd.label && Tgd.equal x y)
+                ta tb)
+         ma.hops mb.hops
+  | (Mapping _ | Setcover _ | Multihop _), _ -> false
 
 let pp ppf t =
   match t.payload with
@@ -67,3 +106,11 @@ let pp ppf t =
       (List.length s.Core.Setcover.sets)
       (List.length s.Core.Setcover.universe)
       s.Core.Setcover.budget
+  | Multihop mh ->
+    Format.fprintf ppf
+      "@[<h>%s (seed %d): %d hops, %d tgds, %d source + %d observed tuples@]"
+      t.tag t.seed (List.length mh.hops) (num_candidates t)
+      (Instance.cardinal mh.initial)
+      (List.fold_left
+         (fun n (_, o) -> n + Instance.cardinal o)
+         0 mh.hops)

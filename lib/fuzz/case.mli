@@ -15,9 +15,22 @@ type mapping = {
   weights : Core.Problem.weights;
 }
 
+type multihop = {
+  initial : Relational.Instance.t;  (** the first hop's source instance *)
+  hops : (Logic.Tgd.t list * Relational.Instance.t) list;
+      (** per hop: the candidate tgd pool and the observed instance its
+          output schema carries; hop [k]'s observed instance is hop
+          [k+1]'s input *)
+  hop_weights : Core.Problem.weights;
+}
+
 type payload =
   | Mapping of mapping
   | Setcover of Core.Setcover.instance
+  | Multihop of multihop
+      (** an S → T → U (optionally → W) chain — the mapping-algebra
+          workload: composition, hop-by-hop vs composed chases, and the
+          end-to-end selection problem *)
 
 type t = {
   seed : int;  (** the generator seed this case (or its ancestor) came from *)
@@ -31,8 +44,14 @@ val problem : ?cache : Cache.t -> mapping -> Core.Problem.t
     analysis (bit-identical on or off — the cache-identity oracle holds the
     whole campaign to that). *)
 
+val multihop_problem : ?cache : Cache.t -> multihop -> Core.Problem.t
+(** The end-to-end problem of a multi-hop case: candidates are
+    [Algebra.compose_all] of the hop pools, the data example is the initial
+    instance paired with the last hop's observed instance. *)
+
 val num_candidates : t -> int
-(** Candidate tgds of a mapping case; sets of a SET COVER case. *)
+(** Candidate tgds of a mapping case; sets of a SET COVER case; total tgds
+    across the hops of a multi-hop case. *)
 
 val num_tuples : t -> int
 (** Source plus target tuples of a mapping case; universe size of a

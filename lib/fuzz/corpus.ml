@@ -82,6 +82,43 @@ let to_string e =
       }
     in
     Buffer.add_string buf (Serialize.Document.to_string doc)
+  | Case.Multihop mh ->
+    line "payload multihop";
+    line "weights %d %d %d" mh.Case.hop_weights.Core.Problem.w_unexplained
+      mh.Case.hop_weights.Core.Problem.w_errors
+      mh.Case.hop_weights.Core.Problem.w_size;
+    line "hops %d" (List.length mh.Case.hops);
+    (* One document section per hop, '---'-separated: hop k's tgds and its
+       observed instance as instance_j; instance_i repeats the hop's input
+       (the initial instance for hop 1) so each section reads standalone. *)
+    let _ =
+      List.fold_left
+        (fun input (tgds, observed) ->
+          line "---";
+          let source, target =
+            infer_schemas
+              {
+                Case.source = input;
+                j = observed;
+                candidates = tgds;
+                weights = mh.Case.hop_weights;
+              }
+          in
+          let doc =
+            {
+              Serialize.Document.empty with
+              Serialize.Document.source;
+              target;
+              tgds;
+              instance_i = input;
+              instance_j = observed;
+            }
+          in
+          Buffer.add_string buf (Serialize.Document.to_string doc);
+          observed)
+        mh.Case.initial mh.Case.hops
+    in
+    ()
   | Case.Setcover s ->
     line "payload setcover";
     line "budget %d" s.Core.Setcover.budget;
@@ -168,6 +205,60 @@ let of_string text =
              candidates = doc.Serialize.Document.tgds;
              weights;
            })
+    | "multihop" ->
+      let* weights =
+        match find "weights" with
+        | None -> Ok Core.Problem.default_weights
+        | Some w -> (
+          match List.map int_of_string_opt (split_words w) with
+          | [ Some w1; Some w2; Some w3 ] ->
+            Ok { Core.Problem.w_unexplained = w1; w_errors = w2; w_size = w3 }
+          | _ -> Error (Printf.sprintf "bad 'weights %s'" w))
+      in
+      let* n = Result.bind (require "hops") (int_field "hops") in
+      (* the body is one '---'-separated document section per hop *)
+      let rec split_sections acc cur = function
+        | [] -> List.rev (List.rev cur :: acc)
+        | "---" :: rest -> split_sections (List.rev cur :: acc) [] rest
+        | l :: rest -> split_sections acc (l :: cur) rest
+      in
+      let sections =
+        split_sections [] [] body
+        |> List.filter (fun ls -> List.exists (fun l -> String.trim l <> "") ls)
+      in
+      if List.length sections <> n then
+        Error
+          (Printf.sprintf "expected %d hop sections, found %d" n
+             (List.length sections))
+      else
+        let* docs =
+          List.fold_left
+            (fun acc section ->
+              let* docs = acc in
+              match Serialize.Parser.parse (String.concat "\n" section) with
+              | Ok doc -> Ok (doc :: docs)
+              | Error e ->
+                Error (Format.asprintf "%a" Serialize.Parser.pp_error e))
+            (Ok []) sections
+          |> Result.map List.rev
+        in
+        let initial =
+          match docs with
+          | d :: _ -> d.Serialize.Document.instance_i
+          | [] -> Instance.empty
+        in
+        Ok
+          (Case.Multihop
+             {
+               Case.initial;
+               hops =
+                 List.map
+                   (fun (d : Serialize.Document.t) ->
+                     ( d.Serialize.Document.tgds,
+                       d.Serialize.Document.instance_j ))
+                   docs;
+               hop_weights = weights;
+             })
     | "setcover" ->
       let* budget = Result.bind (require "budget") (int_field "budget") in
       let universe =

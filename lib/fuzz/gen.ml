@@ -196,6 +196,33 @@ let ibench_gen rng =
     weights = Core.Problem.default_weights;
   }
 
+(* --- multi-hop chains for the mapping algebra --------------------------- *)
+
+let multihop_gen rng =
+  let pis = [| 0; 20; 40 |] in
+  let config =
+    {
+      Ibench.Multihop.relations = int_in rng 1 2;
+      arity = int_in rng 1 3;
+      rows = int_in rng 2 3;
+      hops = int_in rng 2 3;
+      pi_corresp = pick rng pis;
+      pi_errors = pick rng pis;
+      pi_unexplained = pick rng pis;
+      seed = Random.State.int rng 0x3FFFFFFF;
+    }
+  in
+  let s = Ibench.Multihop.generate config in
+  {
+    Case.initial = s.Ibench.Multihop.source;
+    hops =
+      List.map
+        (fun (h : Ibench.Multihop.hop) ->
+          (h.Ibench.Multihop.tgds, h.Ibench.Multihop.observed))
+        s.Ibench.Multihop.hops;
+    hop_weights = weights_gen rng;
+  }
+
 (* --- family dispatch ---------------------------------------------------- *)
 
 let tags =
@@ -209,6 +236,7 @@ let tags =
     "dup-candidates";
     "empty-source";
     "tiny-domain";
+    "multihop";
   ]
 
 let case ~seed =
@@ -223,8 +251,9 @@ let case ~seed =
     else if r < 80 then ("empty-j", Case.Mapping (empty_j rng))
     else if r < 85 then ("all-noise-j", Case.Mapping (all_noise_j rng))
     else if r < 90 then ("dup-candidates", Case.Mapping (dup_candidates rng))
-    else if r < 95 then ("empty-source", Case.Mapping (empty_source rng))
-    else
+    else if r < 93 then ("empty-source", Case.Mapping (empty_source rng))
+    else if r < 96 then
       ("tiny-domain", Case.Mapping (mapping_gen rng ~n_consts:1 ()))
+    else ("multihop", Case.Multihop (multihop_gen rng))
   in
   { Case.seed; tag; payload }

@@ -14,9 +14,10 @@
     deletions and [piUnexplained]-style noise tuples. The remaining seeds
     are split between full-tgd scenarios (the Eq. 4 regime), SET COVER
     instances (the Theorem 1 reduction), genuine {!Ibench.Generator}
-    scenarios with random primitive mixes and noise sweeps, and adversarial
-    corner cases: empty target, all-noise target, duplicate candidates,
-    empty source, and a one-constant domain. *)
+    scenarios with random primitive mixes and noise sweeps, multi-hop
+    {!Ibench.Multihop} chains (the mapping-algebra workload), and
+    adversarial corner cases: empty target, all-noise target, duplicate
+    candidates, empty source, and a one-constant domain. *)
 
 val case : seed : int -> Case.t
 

@@ -15,7 +15,8 @@ let make_ctx ?cache case =
       lazy
         (match case.Case.payload with
         | Case.Mapping m -> Some (Case.problem ?cache m)
-        | Case.Setcover _ -> None);
+        | Case.Setcover _ -> None
+        | Case.Multihop mh -> Some (Case.multihop_problem ?cache mh));
   }
 
 type verdict =
@@ -58,7 +59,7 @@ let selection_to_string sel =
 
 let check_eq4_eq9 ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m when not (List.for_all Tgd.is_full m.Case.candidates) ->
     Skip
   | Case.Mapping _ -> (
@@ -100,7 +101,7 @@ let check_eq4_eq9 ctx =
    covering at least two tuples, simulating a delta-computation bug. *)
 let incremental_check ~expected_tweak ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping _ ->
     let p = Option.get (Lazy.force ctx.problem) in
     let m = Problem.num_candidates p in
@@ -163,7 +164,7 @@ let check_incremental = incremental_check ~expected_tweak:(fun _ _ -> Frac.zero)
 
 let check_solver_order ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping _ ->
     let p = Option.get (Lazy.force ctx.problem) in
     if Problem.num_candidates p > 8 || Problem.num_tuples p > 40 then Skip
@@ -212,7 +213,7 @@ let check_solver_order ctx =
    [m + 1]. The [closed-form] fault lowers it to [m]. *)
 let setcover_check ~slope ctx =
   match ctx.case.Case.payload with
-  | Case.Mapping _ -> Skip
+  | Case.Mapping _ | Case.Multihop _ -> Skip
   | Case.Setcover inst -> (
     match Setcover.validate inst with
     | Error e -> failf "invalid SET COVER instance: %s" e
@@ -258,7 +259,7 @@ let check_setcover = setcover_check ~slope:(fun m -> m + 1)
 
 let check_cq_index ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m ->
     let rng = rng_of ctx 5 in
     let check_inst inst queries =
@@ -333,7 +334,7 @@ let results_equal (a : Chase.result) (b : Chase.result) =
 
 let check_chase_determinism ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m ->
     let rng = rng_of ctx 6 in
     let source2 =
@@ -396,7 +397,7 @@ let check_chase_determinism ctx =
    cache. *)
 let check_cache_identity ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m -> (
     let cache = Cache.create ~capacity:1024 () in
     let p_plain = Option.get (Lazy.force ctx.problem) in
@@ -448,7 +449,7 @@ let check_cache_identity ctx =
    because row ids follow the canonical tuple order, not insertion order. *)
 let check_columnar_identity ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m -> (
     match
       (Columnar.of_instance m.Case.source, Columnar.of_instance m.Case.j)
@@ -544,7 +545,7 @@ let tuple_is_ground (t : Tuple.t) =
 
 let check_core_solution ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m ->
     let jc = (Chase.run m.Case.source m.Case.candidates).Chase.solution in
     (* the endomorphism search is worst-case exponential in a
@@ -600,7 +601,7 @@ let check_core_solution ctx =
    a pure function of (problem, seed). *)
 let check_warm_start ctx =
   match ctx.case.Case.payload with
-  | Case.Setcover _ -> Skip
+  | Case.Setcover _ | Case.Multihop _ -> Skip
   | Case.Mapping m ->
     let p = Option.get (Lazy.force ctx.problem) in
     (* portfolio runs exact too; bound the problem like solver-order *)
@@ -655,6 +656,145 @@ let check_warm_start ctx =
               | Some msg -> Fail msg
               | None -> Pass)))
 
+(* --- algebra: the homomorphism checkers and the mapping algebra --------- *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let ground_tuples inst =
+  List.filter tuple_is_ground (Instance.tuples inst) |> List.sort compare
+
+(* On single-mapping cases the oracle holds the checkers to their semantic
+   contracts on the case's own data — a syntactically-confused [implies] or
+   [contained_in] (the frozen-constant capture bug) shows up as a verdict
+   the instance refutes. On multi-hop cases it holds composition to its
+   defining property: chasing once with the composed mapping is sound
+   against chasing hop by hop with identical ground facts, and fully
+   hom-equivalent whenever every hop before the last is full (the fragment
+   where first-order composition is complete). *)
+let check_algebra ctx =
+  match ctx.case.Case.payload with
+  | Case.Setcover _ -> Skip
+  | Case.Mapping m ->
+    let cands = take 4 m.Case.candidates in
+    let indexed = List.mapi (fun i c -> (i, c)) cands in
+    let pairs =
+      List.concat_map
+        (fun (i, a) ->
+          List.filter_map
+            (fun (j, b) -> if i = j then None else Some (a, b))
+            indexed)
+        indexed
+    in
+    let implication_unsound =
+      List.find_map
+        (fun ((a : Tgd.t), (b : Tgd.t)) ->
+          if not (Chase.Implication.implies a b) then None
+          else
+            (* (I, chase(I, [a])) satisfies a by universality, so a ⊨ b
+               promises it satisfies b too *)
+            let target = (Chase.run m.Case.source [ a ]).Chase.solution in
+            if Chase.satisfies ~source:m.Case.source ~target b then None
+            else
+              Some
+                (Printf.sprintf
+                   "implies %s %s holds but (I, chase(I, [%s])) violates %s"
+                   a.Tgd.label b.Tgd.label a.Tgd.label b.Tgd.label))
+        pairs
+    in
+    (match implication_unsound with
+    | Some msg -> Fail msg
+    | None -> (
+      let containment_unsound =
+        List.find_map
+          (fun ((a : Tgd.t), (b : Tgd.t)) ->
+            if not (Containment.contained_in a.Tgd.body b.Tgd.body) then None
+            else if
+              Cq.holds m.Case.source a.Tgd.body
+              && not (Cq.holds m.Case.source b.Tgd.body)
+            then
+              Some
+                (Printf.sprintf
+                   "body(%s) ⊆ body(%s) as boolean queries, but only the \
+                    former holds on I"
+                   a.Tgd.label b.Tgd.label)
+            else None)
+          pairs
+      in
+      match containment_unsound with
+      | Some msg -> Fail msg
+      | None -> (
+        let minimize_broken =
+          List.find_map
+            (fun (c : Tgd.t) ->
+              let small = Chase.Implication.minimize_tgd c in
+              if not (Chase.Implication.equivalent small c) then
+                Some
+                  (Printf.sprintf "minimize_tgd changed the meaning of %s"
+                     c.Tgd.label)
+              else
+                match c.Tgd.body with
+                | [] -> None
+                | a :: _ ->
+                  (* duplicating an atom never changes the minimal core *)
+                  let minimized = Containment.minimize (c.Tgd.body @ [ a ]) in
+                  if Containment.equivalent minimized c.Tgd.body then None
+                  else
+                    Some
+                      (Printf.sprintf
+                         "Containment.minimize broke a duplicated body of %s"
+                         c.Tgd.label))
+            cands
+        in
+        match minimize_broken with Some msg -> Fail msg | None -> Pass)))
+  | Case.Multihop mh ->
+    if mh.Case.hops = [] then Skip
+    else
+      let maps = List.map fst mh.Case.hops in
+      let k_hop = Algebra.chase_through mh.Case.initial maps in
+      if
+        Instance.cardinal k_hop > 40
+        || Case.num_tuples ctx.case > 60
+        || Case.num_candidates ctx.case > 12
+      then Skip
+      else
+        let composed = Algebra.compose_all maps in
+        let k_comp = Algebra.chase_through mh.Case.initial [ composed ] in
+        (* Completeness of first-order composition is only promised when no
+           intermediate existential can be consumed downstream: a hop-1 null
+           shared by two hop-2 facts is a correlation no tgd set expresses
+           (that is SO-tgd territory, Fagin et al.), so the hop-by-hop chase
+           need not map into the composed one. Ground facts are exempt —
+           each comes from a single derivation tree, which unfolding does
+           capture — so their sets must always agree. *)
+        let intermediate_full =
+          match List.rev maps with
+          | [] -> true
+          | _last :: earlier -> List.for_all (List.for_all Tgd.is_full) earlier
+        in
+        if not (Chase.Core_solution.hom_exists ~from:k_comp ~into:k_hop) then
+          Fail "no homomorphism from the composed chase into the hop-by-hop one"
+        else if
+          intermediate_full
+          && not (Chase.Core_solution.hom_exists ~from:k_hop ~into:k_comp)
+        then
+          Fail
+            "intermediate hops are full but the hop-by-hop chase does not \
+             map into the composed one"
+        else if ground_tuples k_comp <> ground_tuples k_hop then
+          failf "ground facts differ: %d composed vs %d hop-by-hop"
+            (List.length (ground_tuples k_comp))
+            (List.length (ground_tuples k_hop))
+        else if not (Algebra.contained_in composed composed) then
+          Fail "containment is not reflexive on the composed mapping"
+        else (
+          match maps with
+          | [ m1; m2; m3 ] ->
+            let left = Algebra.compose (Algebra.compose m1 m2) m3 in
+            let right = Algebra.compose m1 (Algebra.compose m2 m3) in
+            if Algebra.equivalent left right then Pass
+            else Fail "composition is not associative up to equivalence"
+          | _ -> Pass)
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -708,6 +848,13 @@ let all =
       name = "warm-start";
       doc = "warm-started CMD equals cold; portfolio races deterministically";
       check = check_warm_start;
+    };
+    {
+      name = "algebra";
+      doc =
+        "implication/containment verdicts hold semantically; composed chase \
+         sound vs hop-by-hop, exact on full intermediate hops";
+      check = check_algebra;
     };
   ]
 

@@ -137,9 +137,64 @@ let shrink_setcover ~fails (case : Case.t) (s : Core.Setcover.instance) =
   in
   rebuild (fixpoint s)
 
+let shrink_multihop ~fails (case : Case.t) (mh : Case.multihop) =
+  let rebuild mh' = { case with Case.payload = Case.Multihop mh' } in
+  let rec fixpoint (mh : Case.multihop) =
+    (* whole hops (keep at least one so the chain stays a chain) *)
+    let hops, r0 =
+      sweep_keep_one ~fails
+        ~rebuild:(fun hops -> rebuild { mh with Case.hops })
+        mh.Case.hops
+    in
+    let mh = { mh with Case.hops } in
+    (* tgds and observed tuples within each hop *)
+    let r1 = ref false in
+    let hops = ref mh.Case.hops in
+    List.iteri
+      (fun idx _ ->
+        let replace_at v =
+          List.mapi (fun k h -> if k = idx then v else h) !hops
+        in
+        let tgds, obs = List.nth !hops idx in
+        let tgds, removed =
+          sweep ~fails
+            ~rebuild:(fun tgds ->
+              rebuild { mh with Case.hops = replace_at (tgds, obs) })
+            tgds
+        in
+        if removed then begin
+          r1 := true;
+          hops := replace_at (tgds, obs)
+        end;
+        let tgds, obs = List.nth !hops idx in
+        let obs_tuples, removed =
+          sweep ~fails
+            ~rebuild:(fun ts ->
+              rebuild
+                { mh with Case.hops = replace_at (tgds, Instance.of_tuples ts) })
+            (Instance.tuples obs)
+        in
+        if removed then begin
+          r1 := true;
+          hops := replace_at (tgds, Instance.of_tuples obs_tuples)
+        end)
+      mh.Case.hops;
+    let mh = { mh with Case.hops = !hops } in
+    let initial_tuples, r2 =
+      sweep ~fails
+        ~rebuild:(fun ts ->
+          rebuild { mh with Case.initial = Instance.of_tuples ts })
+        (Instance.tuples mh.Case.initial)
+    in
+    let mh = { mh with Case.initial = Instance.of_tuples initial_tuples } in
+    if r0 || !r1 || r2 then fixpoint mh else mh
+  in
+  rebuild (fixpoint mh)
+
 let shrink ~fails case =
   if not (fails case) then case
   else
     match case.Case.payload with
     | Case.Mapping m -> shrink_mapping ~fails case m
     | Case.Setcover s -> shrink_setcover ~fails case s
+    | Case.Multihop mh -> shrink_multihop ~fails case mh

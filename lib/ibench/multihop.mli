@@ -1,0 +1,56 @@
+(** Deterministic multi-hop (S → T → U [→ W]) scenario generation.
+
+    The single-hop generator ({!Generator}) exercises one mapping-selection
+    problem; this one chains two or three, so the mapping algebra
+    ({!Algebra}) has something to compose. Hop 1 is one
+    copy/project/permute tgd per source relation — each with its own head
+    relation, so a later unfolding can always tell which tgd produced an
+    atom — optionally inventing an existential column. Later hops join one
+    or two relations of the previous hop's head schema on a shared variable
+    and project onto frontier variables. Observed instances are grounded
+    chases of the previous hop's observed instance, perturbed by the
+    configured noise, so hop [k]'s output is literally hop [k+1]'s input. *)
+
+type config = {
+  relations : int;  (** source relations, and tgds per later hop *)
+  arity : int;  (** arity of the source relations *)
+  rows : int;  (** tuples per source relation *)
+  hops : int;  (** 2 or 3 *)
+  pi_corresp : int;
+      (** percent chance each ground-truth tgd gains a permuted spurious
+          twin in the hop's candidate pool *)
+  pi_errors : int;  (** percent of clean observed tuples deleted *)
+  pi_unexplained : int;
+      (** percent of noise-only chase tuples added to the observed
+          instance *)
+  seed : int;
+}
+
+val default : config
+(** 2 relations of arity 2, 3 rows, 2 hops, no noise, seed 42. *)
+
+val validate : config -> (unit, string) result
+
+type hop = {
+  tgds : Logic.Tgd.t list;  (** candidate pool: ground truth then noise twins *)
+  ground_truth : Logic.Tgd.t list;
+  observed : Relational.Instance.t;
+      (** grounded chase of the previous hop's observed instance under
+          [ground_truth], after noise *)
+}
+
+and t = { config : config; source : Relational.Instance.t; hops : hop list }
+
+val generate : config -> t
+(** Deterministic in [config] (including [seed]).
+    @raise Invalid_argument when [validate] rejects the config. *)
+
+val mappings : t -> Logic.Tgd.t list list
+(** The per-hop candidate pools, in hop order — the argument
+    {!Algebra.compose_all} expects. *)
+
+val target : t -> Relational.Instance.t
+(** The last hop's observed instance: the selection target of the
+    end-to-end problem. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,23 +1,40 @@
 open Relational
 
-let frozen v = Value.Const ("__frz_" ^ v)
+module Smap = Map.Make (String)
 
-let freeze atoms =
+let vars_of atoms =
+  List.fold_left (fun acc a -> String_set.union acc (Atom.vars a)) String_set.empty atoms
+
+(* Freeze variables into labeled nulls with negative labels. Nulls live in a
+   namespace no query can name — [Term.Cst c] only ever matches
+   [Value.Const c] — so the canonical instance cannot conflate a frozen
+   variable with a data constant. (The previous encoding froze [v] into the
+   ordinary constant ["__frz_" ^ v]; any query or instance that mentioned a
+   real constant with that prefix made the test silently unsound.) Negative
+   labels additionally keep frozen values disjoint from chase-invented nulls,
+   which are labeled from 0 upward. *)
+let freeze_map vars =
+  String_set.elements vars
+  |> List.mapi (fun i v -> (v, Value.Null (-i - 1)))
+  |> List.to_seq |> Smap.of_seq
+
+let freeze fm atoms =
   List.map
     (fun (a : Atom.t) ->
       let values =
         Array.map
-          (function Term.Var v -> frozen v | Term.Cst c -> Value.Const c)
+          (function Term.Var v -> Smap.find v fm | Term.Cst c -> Value.Const c)
           a.Atom.args
       in
       { Tuple.rel = a.Atom.rel; values })
     atoms
 
 let contained_in ?(distinguished = String_set.empty) q q' =
-  let canonical = Instance.of_tuples (freeze q) in
+  let fm = freeze_map (String_set.union (vars_of q) distinguished) in
+  let canonical = Instance.of_tuples (freeze fm q) in
   let pinned =
     String_set.fold
-      (fun v acc -> Subst.bind_exn v (frozen v) acc)
+      (fun v acc -> Subst.bind_exn v (Smap.find v fm) acc)
       distinguished Subst.empty
   in
   Cq.extensions canonical pinned q' <> []
@@ -25,12 +42,13 @@ let contained_in ?(distinguished = String_set.empty) q q' =
 let equivalent ?distinguished q q' =
   contained_in ?distinguished q q' && contained_in ?distinguished q' q
 
-let vars_of atoms =
-  List.fold_left (fun acc a -> String_set.union acc (Atom.vars a)) String_set.empty atoms
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
 
 let minimize ?(distinguished = String_set.empty) atoms =
-  let removable kept atom =
-    let rest = List.filter (fun a -> a != atom) kept in
+  (* Positional removal: dropping the atom at index [i] removes exactly one
+     occurrence, so a body containing the same atom twice (even the same
+     physical atom) shrinks one step at a time. *)
+  let removable kept rest =
     rest <> []
     && String_set.subset
          (String_set.inter distinguished (vars_of kept))
@@ -38,8 +56,13 @@ let minimize ?(distinguished = String_set.empty) atoms =
     && equivalent ~distinguished rest kept
   in
   let rec shrink kept =
-    match List.find_opt (removable kept) kept with
-    | None -> kept
-    | Some atom -> shrink (List.filter (fun a -> a != atom) kept)
+    let n = List.length kept in
+    let rec try_at i =
+      if i >= n then kept
+      else
+        let rest = remove_at i kept in
+        if removable kept rest then shrink rest else try_at (i + 1)
+    in
+    try_at 0
   in
   shrink atoms

@@ -2,9 +2,12 @@
 
     [q ⊆ q'] — every database's answers to [q] are answers to [q'] — holds
     iff there is a homomorphism from [q'] to [q] that fixes the
-    distinguished (output) variables. The test freezes [q]'s variables into
-    constants, turning its atoms into a canonical instance, and looks for a
-    match of [q'] in it. *)
+    distinguished (output) variables. The test freezes [q]'s variables,
+    turning its atoms into a canonical instance, and looks for a match of
+    [q'] in it. Variables are frozen into labeled nulls with negative labels
+    — a namespace disjoint from every constant a query or instance can
+    mention and from every chase-invented null — so the test is sound for
+    arbitrary data, including constants that look like frozen variables. *)
 
 val contained_in :
   ?distinguished : String_set.t -> Atom.t list -> Atom.t list -> bool

@@ -16,7 +16,11 @@ val is_var : t -> bool
 val var_name : t -> string option
 
 val pp : Format.formatter -> t -> unit
-(** Variables print capitalised as written; constants print verbatim. *)
+(** Variables print as written. A constant prints verbatim when the textual
+    grammar would read it back as a constant (leading lowercase letter,
+    digit or ['-'], identifier characters throughout), and double-quoted
+    otherwise — so a constant that spells like a variable (e.g. one starting
+    with ['_']) still round-trips through {!Serialize}. *)
 
 module Set : Set.S with type elt = t
 

@@ -1,0 +1,33 @@
+(** A hand-crafted deterministic two-hop chain (S -> T -> U) for the
+    mapping-algebra workload: project staffing restructured twice by
+    independently designed mappings. The end-to-end candidate pool is the
+    algebraic composition of the per-hop pools ({!Algebra.compose_all} in
+    consumers — this module stays algebra-free so the scenario zoo keeps
+    its small dependency cone).
+
+    Observed instances are grounded chases of each hop's input under the
+    hop's ground truth, so the chain is clean: the composed ground truth
+    explains the final instance exactly, and the noise twins ([t1x],
+    [u1x]) are pure errors. *)
+
+val description : string
+
+val initial : Relational.Instance.t
+(** The source instance of hop 1 ([proj] tuples). *)
+
+val hops : (Logic.Tgd.t list * Relational.Instance.t) list
+(** Per hop: its candidate pool (ground truth then noise twins) and its
+    observed instance. *)
+
+val pools : Logic.Tgd.t list list
+(** The candidate pools alone, hop order. *)
+
+val truth_pools : Logic.Tgd.t list list
+(** The per-hop ground truths, hop order. *)
+
+val mid : Relational.Instance.t
+(** Hop 1's observed instance (the intermediate schema T). *)
+
+val final : Relational.Instance.t
+(** Hop 2's observed instance: the selection target of the composed
+    problem. *)

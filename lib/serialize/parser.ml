@@ -18,6 +18,24 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '-'
 
+(* A double-quoted argument is a constant whatever its spelling — the
+   escape hatch for constants the bare grammar would read as variables
+   (e.g. a leading '_'). Quotes are kept here and stripped by the
+   consumer ([term_of_string], [unquote]). *)
+let check_quoted_arg a ctx =
+  let n = String.length a in
+  if n < 3 || a.[n - 1] <> '"' then fail "unterminated quote in %S in %s" a ctx;
+  String.iteri
+    (fun i c ->
+      if i > 0 && i < n - 1 && not (is_ident_char c) then
+        fail "bad argument %S in %s" a ctx)
+    a
+
+let unquote a =
+  let n = String.length a in
+  if n >= 2 && a.[0] = '"' && a.[n - 1] = '"' then String.sub a 1 (n - 2)
+  else a
+
 (* Split "rel(a, b, c)" into ("rel", ["a"; "b"; "c"]). *)
 let parse_application s =
   let s = String.trim s in
@@ -39,11 +57,13 @@ let parse_application s =
         |> List.map (fun a ->
                let a = String.trim a in
                if a = "" then fail "empty argument in %s" s;
-               String.iter
-                 (fun c ->
-                   if not (is_ident_char c) then
-                     fail "bad argument %S in %s" a s)
-                 a;
+               if a.[0] = '"' then check_quoted_arg a s
+               else
+                 String.iter
+                   (fun c ->
+                     if not (is_ident_char c) then
+                       fail "bad argument %S in %s" a s)
+                   a;
                a)
     in
     (name, args)
@@ -60,6 +80,7 @@ let term_of_string a =
     match a.[0] with
     | 'A' .. 'Z' | '_' -> Term.Var a
     | 'a' .. 'z' | '0' .. '9' | '-' -> Term.Cst a
+    | '"' -> Term.Cst (unquote a)
     | c -> fail "bad term start %c" c
 
 let parse_atoms s =
@@ -151,7 +172,7 @@ let add_tuple which rest (doc : Document.t) =
     if Relation.arity r <> List.length args then
       fail "arity mismatch for %s (%d expected, %d given)" rel
         (Relation.arity r) (List.length args));
-  let tu = Tuple.of_consts rel args in
+  let tu = Tuple.of_consts rel (List.map unquote args) in
   match which with
   | `Source -> { doc with Document.instance_i = Instance.add tu doc.Document.instance_i }
   | `Target -> { doc with Document.instance_j = Instance.add tu doc.Document.instance_j }

@@ -18,4 +18,8 @@ val parse_file : string -> (Document.t, error) result
 val parse_tgd : string -> (Logic.Tgd.t, string) result
 (** Parses a single tgd body, e.g.
     ["theta1: proj(P, E, O) -> task(P, E, T)"] (the [tgd] keyword is not
-    part of the input). Exposed for the CLI. *)
+    part of the input). A bare argument starting with an uppercase letter
+    or ['_'] is a variable, one starting with a lowercase letter, digit or
+    ['-'] is a constant; a double-quoted argument is a constant whatever
+    its spelling, matching what {!Logic.Term.pp} emits for constants the
+    bare grammar cannot express. Exposed for the CLI. *)

@@ -101,7 +101,7 @@ type state = {
   config : config;
 }
 
-let admit st conn (req : Protocol.request) (p : Protocol.solve_params) =
+let admit st conn (req : Protocol.request) ~key (p : Protocol.solve_params) =
   if Atomic.get st.stop then send conn (Protocol.render_response (shutting_down req.Protocol.id))
   else begin
     let deadline_at_ns =
@@ -115,7 +115,7 @@ let admit st conn (req : Protocol.request) (p : Protocol.solve_params) =
     in
     let job =
       {
-        Scheduler.key = Protocol.solve_key p;
+        Scheduler.key;
         request = req;
         send = send conn;
         deadline_at_ns;
@@ -134,7 +134,9 @@ let process_line st conn line =
     | Error resp -> send conn (Protocol.render_response resp)
     | Ok req -> (
       match req.Protocol.call with
-      | Protocol.Solve p -> admit st conn req p
+      | Protocol.Solve p -> admit st conn req ~key:(Protocol.solve_key p) p
+      | Protocol.Compose p ->
+        admit st conn req ~key:(Protocol.solve_key ~meth:"compose" p) p
       | Protocol.Stats ->
         let extra =
           [

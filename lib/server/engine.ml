@@ -67,6 +67,12 @@ type resolved = {
   source : Relational.Instance.t;
   j : Relational.Instance.t;
   candidates : Logic.Tgd.t list;
+      (** the end-to-end pool: the scenario's own candidates for a
+          single-hop scenario, [Algebra.compose_all hops] for a multi-hop
+          one *)
+  hops : Logic.Tgd.t list list;
+      (** the hop chain behind [candidates]; a singleton for single-hop
+          scenarios, so [compose] is total over every scenario kind *)
   scenario_weights : Core.Problem.weights;
 }
 
@@ -87,6 +93,7 @@ let of_document doc =
     source = doc.Serialize.Document.instance_i;
     j = doc.Serialize.Document.instance_j;
     candidates;
+    hops = [ candidates ];
     scenario_weights = Core.Problem.default_weights;
   }
 
@@ -96,7 +103,22 @@ let of_case ~what = function
       source = m.Fuzz.Case.source;
       j = m.Fuzz.Case.j;
       candidates = m.Fuzz.Case.candidates;
+      hops = [ m.Fuzz.Case.candidates ];
       scenario_weights = m.Fuzz.Case.weights;
+    }
+  | Fuzz.Case.Multihop mh ->
+    (* end-to-end view of the chain: select over the composed pool against
+       the final observed instance *)
+    let hops = List.map fst mh.Fuzz.Case.hops in
+    {
+      source = mh.Fuzz.Case.initial;
+      j =
+        (match List.rev mh.Fuzz.Case.hops with
+        | (_, observed) :: _ -> observed
+        | [] -> Relational.Instance.empty);
+      candidates = Algebra.compose_all hops;
+      hops;
+      scenario_weights = mh.Fuzz.Case.hop_weights;
     }
   | Fuzz.Case.Setcover _ ->
     fail Protocol.Unsupported_case
@@ -138,7 +160,11 @@ let frac f =
 let emit progress ~event ?name ?dur_ns () =
   match progress with None -> () | Some p -> p ~event ?name ?dur_ns ()
 
-let solve t ~progress (p : Protocol.solve_params) =
+(* The shared solve pipeline. [compose] calls report the hop chain and the
+   composed pool next to the usual fields; their selection runs over the
+   same end-to-end problem (for single-hop scenarios the composition of one
+   mapping is the mapping itself, so [compose] is total). *)
+let solve ?(compose = false) t ~progress (p : Protocol.solve_params) =
   let impl =
     match Core.Solver.find p.Protocol.solver with
     | Some s -> s
@@ -170,38 +196,45 @@ let solve t ~progress (p : Protocol.solve_params) =
   in
   let b = Core.Objective.breakdown problem selection in
   emit progress ~event:"done" ();
+  let composed_fields =
+    if not compose then []
+    else
+      [
+        ("hops", Json.Num (float_of_int (List.length r.hops)));
+        ( "composed",
+          Json.List
+            (List.map (fun c -> Json.Str (Logic.Tgd.to_string c)) r.candidates)
+        );
+      ]
+  in
   Json.Obj
-    [
-      ("solver", Json.Str (Core.Solver.name impl));
-      ("digest", Json.Str digest);
-      ("candidates", Json.Num (float_of_int (Core.Problem.num_candidates problem)));
-      ("tuples", Json.Num (float_of_int (Core.Problem.num_tuples problem)));
-      ( "selection",
-        Json.List
-          (List.map
-             (fun i -> Json.Num (float_of_int i))
-             (Core.Problem.indices_of_selection selection)) );
-      ( "objective",
-        Json.Obj
-          [
-            ("total", frac b.Core.Objective.total);
-            ("unexplained", frac b.Core.Objective.unexplained);
-            ("errors", Json.Num (float_of_int b.Core.Objective.errors));
-            ("size", Json.Num (float_of_int b.Core.Objective.size));
-          ] );
-    ]
+    (composed_fields
+    @ [
+        ("solver", Json.Str (Core.Solver.name impl));
+        ("digest", Json.Str digest);
+        ("candidates", Json.Num (float_of_int (Core.Problem.num_candidates problem)));
+        ("tuples", Json.Num (float_of_int (Core.Problem.num_tuples problem)));
+        ( "selection",
+          Json.List
+            (List.map
+               (fun i -> Json.Num (float_of_int i))
+               (Core.Problem.indices_of_selection selection)) );
+        ( "objective",
+          Json.Obj
+            [
+              ("total", frac b.Core.Objective.total);
+              ("unexplained", frac b.Core.Objective.unexplained);
+              ("errors", Json.Num (float_of_int b.Core.Objective.errors));
+              ("size", Json.Num (float_of_int b.Core.Objective.size));
+            ] );
+      ])
 
-let handle t ?progress (req : Protocol.request) =
+let handle (t : t) ?progress (req : Protocol.request) =
   let id = req.Protocol.id in
-  match req.Protocol.call with
-  | Protocol.Ping -> Protocol.Result { id; body = Json.Obj [ ("pong", Json.Bool true) ] }
-  | Protocol.Stats -> Protocol.Result { id; body = stats_body t ~extra:[] }
-  | Protocol.Shutdown ->
-    Protocol.Result { id; body = Json.Obj [ ("stopping", Json.Bool true) ] }
-  | Protocol.Solve p -> (
+  let answer ~compose p =
     Atomic.incr t.handled;
     let progress = if p.Protocol.progress then progress else None in
-    match solve t ~progress p with
+    match solve ~compose t ~progress p with
     | body ->
       Atomic.incr t.ok;
       Protocol.Result { id; body }
@@ -211,4 +244,12 @@ let handle t ?progress (req : Protocol.request) =
     | exception exn ->
       Atomic.incr t.errors;
       Protocol.Error
-        { id; kind = Protocol.Internal; message = Printexc.to_string exn })
+        { id; kind = Protocol.Internal; message = Printexc.to_string exn }
+  in
+  match req.Protocol.call with
+  | Protocol.Ping -> Protocol.Result { id; body = Json.Obj [ ("pong", Json.Bool true) ] }
+  | Protocol.Stats -> Protocol.Result { id; body = stats_body t ~extra:[] }
+  | Protocol.Shutdown ->
+    Protocol.Result { id; body = Json.Obj [ ("stopping", Json.Bool true) ] }
+  | Protocol.Solve p -> answer ~compose:false p
+  | Protocol.Compose p -> answer ~compose:true p

@@ -15,7 +15,7 @@ type solve_params = {
   progress : bool;
 }
 
-type call = Ping | Stats | Solve of solve_params | Shutdown
+type call = Ping | Stats | Solve of solve_params | Compose of solve_params | Shutdown
 
 type request = { id : Json.t; call : call }
 
@@ -97,7 +97,10 @@ let decode_weights ~id j =
       reject ~id Invalid_request "params.weights must be three positive integers")
   | _ -> reject ~id Invalid_request "params.weights must be [w1, w2, w3]"
 
-let decode_solve ~id params =
+(* Shared by [solve] and [compose]: both take the same params object (a
+   scenario plus solver/seed/weights); they differ only in what the engine
+   does with the resolved hops. *)
+let decode_solve_params ~id params =
   let where = "params" in
   known_fields ~id ~where
     [ "scenario"; "file"; "case_seed"; "solver"; "seed"; "weights";
@@ -141,15 +144,14 @@ let decode_solve ~id params =
       | Some b -> b
       | None -> reject ~id Invalid_request "params.progress must be a boolean")
   in
-  Solve
-    {
-      scenario;
-      solver;
-      seed = field_int ~id ~where "seed" params;
-      weights = Option.map (decode_weights ~id) (Json.member "weights" params);
-      deadline_ms;
-      progress;
-    }
+  {
+    scenario;
+    solver;
+    seed = field_int ~id ~where "seed" params;
+    weights = Option.map (decode_weights ~id) (Json.member "weights" params);
+    deadline_ms;
+    progress;
+  }
 
 let decode_request j =
   known_fields ~where:"request" [ "id"; "method"; "params" ] j;
@@ -178,8 +180,12 @@ let decode_request j =
     | "shutdown" -> no_params (); Shutdown
     | "solve" -> (
       match params with
-      | Some p -> decode_solve ~id p
+      | Some p -> Solve (decode_solve_params ~id p)
       | None -> reject ~id Invalid_request "solve requires params")
+    | "compose" -> (
+      match params with
+      | Some p -> Compose (decode_solve_params ~id p)
+      | None -> reject ~id Invalid_request "compose requires params")
     | other -> reject ~id (Unknown_method other) (Printf.sprintf "unknown method %S" other)
   in
   { id; call }
@@ -227,7 +233,7 @@ let render_progress ~id ~event ?name ?dur_ns () =
 
 (* --- batching key ------------------------------------------------------- *)
 
-let solve_key p =
+let solve_key ?(meth = "solve") p =
   let scenario_parts =
     match p.scenario with
     | Inline text -> [ "inline"; text ]
@@ -242,4 +248,6 @@ let solve_key p =
       Printf.sprintf "%d.%d.%d" w.Core.Problem.w_unexplained w.Core.Problem.w_errors
         w.Core.Problem.w_size
   in
-  Cache.Key.digest (("serve" :: scenario_parts) @ [ p.solver; seed; weights ])
+  (* the method is part of the key: a [compose] and a [solve] over identical
+     params have different response bodies, so they must never coalesce *)
+  Cache.Key.digest (("serve" :: meth :: scenario_parts) @ [ p.solver; seed; weights ])

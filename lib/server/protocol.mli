@@ -53,6 +53,12 @@ type call =
   | Ping
   | Stats
   | Solve of solve_params
+  | Compose of solve_params
+      (** the mapping-algebra endpoint: resolve the scenario's hop chain
+          (a multi-hop corpus entry, or a single hop for plain scenarios),
+          compose it end-to-end with {!Algebra.compose_all}, solve the
+          composed selection problem, and report the composed tgds next to
+          the usual [solve] fields. Same params object as [solve]. *)
   | Shutdown  (** graceful: drain the queue, flush, exit *)
 
 type request = {
@@ -112,9 +118,11 @@ val render_progress :
 (** A progress notification frame:
     [{"id": ..., "progress": {"event": E, "name"?: N, "dur_ns"?: D}}]. *)
 
-val solve_key : solve_params -> string
+val solve_key : ?meth:string -> solve_params -> string
 (** Canonical digest of everything the response body may depend on
-    (scenario source, solver, seed, weights — not [deadline_ms] or
+    (method, scenario source, solver, seed, weights — not [deadline_ms] or
     [progress]): the batching key. Equal keys are identical problems, so
     the scheduler sorts batches by it and the cache's single-flight
-    selection tier coalesces equal keys onto one solver invocation. *)
+    selection tier coalesces equal keys onto one solver invocation.
+    [meth] defaults to ["solve"]; pass ["compose"] for {!Compose} calls so
+    the two methods never coalesce onto one response body. *)

@@ -36,7 +36,7 @@ let install_tap () =
 
 let wants_progress job =
   match job.request.Protocol.call with
-  | Protocol.Solve p -> p.Protocol.progress
+  | Protocol.Solve p | Protocol.Compose p -> p.Protocol.progress
   | _ -> false
 
 let run_job engine job =

@@ -345,6 +345,31 @@ let implication_tests =
         Alcotest.(check int)
           "both kept" 2
           (List.length (Chase.Implication.minimize [ Fixtures.theta1; other ])));
+    Alcotest.test_case "adversarial frozen-name constants are not captured"
+      `Quick (fun () ->
+        (* regression: freezing used to encode a frozen variable A as the
+           constant "__frz_A_w", so a tgd that literally mentions that
+           constant matched the frozen body and the constant-specific rule
+           "implied" the universal one; freezing now uses nulls *)
+        let v = Fixtures.v in
+        let general =
+          Tgd.make
+            ~body:[ Atom.make "s0" [ v "A" ] ]
+            ~head:[ Atom.make "u0" [ v "A" ] ]
+            ()
+        in
+        let adversarial =
+          Tgd.make
+            ~body:[ Atom.make "s0" [ Term.Cst "__frz_A_w" ] ]
+            ~head:[ Atom.make "u0" [ Term.Cst "__frz_A_w" ] ]
+            ()
+        in
+        Alcotest.(check bool)
+          "constant rule does not imply the universal rule" false
+          (Chase.Implication.implies adversarial general);
+        Alcotest.(check bool)
+          "universal rule still implies the constant rule" true
+          (Chase.Implication.implies general adversarial));
   ]
 
 let certain_tests =
@@ -447,6 +472,24 @@ let minimize_tgd_tests =
         Alcotest.(check bool)
           "same" true
           (Tgd.equal_up_to_renaming minimal Fixtures.theta3));
+    Alcotest.test_case "exactly one copy of a duplicated atom survives" `Quick
+      (fun () ->
+        (* regression: removal by physical equality could not shrink a
+           body whose duplicate atoms share one allocation — dropping one
+           dropped both, so the guard kept the redundant copy forever;
+           removal is positional now *)
+        let v = Fixtures.v in
+        let a = Atom.make "r2" [ v "X"; v "Y" ] in
+        let doubled =
+          Tgd.make ~label:"doubled" ~body:[ a; a ]
+            ~head:[ Atom.make "t2" [ v "X"; v "Y" ] ]
+            ()
+        in
+        let minimal = Chase.Implication.minimize_tgd doubled in
+        Alcotest.(check int) "one body atom" 1 (List.length minimal.Tgd.body);
+        Alcotest.(check bool)
+          "still equivalent" true
+          (Chase.Implication.equivalent minimal doubled));
   ]
 
 let egd_tests =

@@ -7,10 +7,10 @@ let ctx = Experiments.Common.Ctx.create ~jobs:1 ()
 
 let registry_tests =
   [
-    Alcotest.test_case "all fourteen experiments are registered" `Quick
+    Alcotest.test_case "all fifteen experiments are registered" `Quick
       (fun () ->
         Alcotest.(check int)
-          "fourteen" 14
+          "fifteen" 15
           (List.length Experiments.Registry.all);
         List.iteri
           (fun i (id, _, _) ->

@@ -332,6 +332,29 @@ let containment_tests =
         Alcotest.(check int)
           "cannot drop output atoms" 2
           (List.length (Containment.minimize ~distinguished:dz q)));
+    Alcotest.test_case "adversarial frozen-name constants are not captured"
+      `Quick (fun () ->
+        (* regression: the canonical instance used to freeze variable x as
+           the constant "__frz_x", so a query literally mentioning that
+           constant evaluated to true over it and containment was claimed;
+           freezing now uses nulls, which no constant can equal *)
+        let q_var = [ Atom.make "r1" [ v "x" ] ] in
+        let q_cst = [ Atom.make "r1" [ c "__frz_x" ] ] in
+        Alcotest.(check bool)
+          "variable query not contained in constant query" false
+          (Containment.contained_in q_var q_cst);
+        Alcotest.(check bool)
+          "constant query contained in variable query" true
+          (Containment.contained_in q_cst q_var));
+    Alcotest.test_case "exactly one copy of a duplicated atom survives" `Quick
+      (fun () ->
+        (* regression: minimize removed atoms by physical equality, so a
+           duplicated atom sharing one allocation could never shrink —
+           dropping one copy dropped both; removal is positional now *)
+        let a = r2 (v "X") (v "Y") in
+        Alcotest.(check int)
+          "one atom" 1
+          (List.length (Containment.minimize [ a; a ])));
   ]
 
 let () =

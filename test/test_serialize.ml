@@ -113,6 +113,29 @@ let parser_tests =
         match Parser.parse_tgd "t: r(_x) -> s(_x)" with
         | Error m -> Alcotest.fail m
         | Ok tgd -> Alcotest.(check bool) "full" true (Logic.Tgd.is_full tgd));
+    Alcotest.test_case "quoted constant spelling like a variable roundtrips"
+      `Quick (fun () ->
+        (* the escape hatch for constants the bare grammar would read as
+           variables; Term.pp emits the quotes, parse_tgd strips them *)
+        let adversarial =
+          Logic.Tgd.make ~label:"t"
+            ~body:[ Logic.Atom.make "r" [ Logic.Term.Cst "__frz_x" ] ]
+            ~head:[ Logic.Atom.make "s" [ Logic.Term.Cst "__frz_x" ] ]
+            ()
+        in
+        let printed = Format.asprintf "%a" Logic.Tgd.pp adversarial in
+        (match Parser.parse_tgd printed with
+        | Error m -> Alcotest.fail m
+        | Ok tgd ->
+          Alcotest.(check bool)
+            "same tgd" true
+            (Logic.Tgd.equal adversarial tgd));
+        match Parser.parse_tgd "t: r(__frz_x) -> s(__frz_x)" with
+        | Error m -> Alcotest.fail m
+        | Ok bare ->
+          Alcotest.(check bool)
+            "bare spelling stays a variable" false
+            (Logic.Tgd.equal adversarial bare));
     Alcotest.test_case "malformed tgd reports error" `Quick (fun () ->
         Alcotest.(check bool)
           "no arrow" true

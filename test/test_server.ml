@@ -15,7 +15,7 @@ let mapping_seed =
   let rec find s =
     match (Fuzz.Gen.case ~seed:s).Fuzz.Case.payload with
     | Fuzz.Case.Mapping _ -> s
-    | Fuzz.Case.Setcover _ -> find (s + 1)
+    | Fuzz.Case.Setcover _ | Fuzz.Case.Multihop _ -> find (s + 1)
   in
   find 7
 
@@ -23,7 +23,7 @@ let setcover_seed =
   let rec find s =
     match (Fuzz.Gen.case ~seed:s).Fuzz.Case.payload with
     | Fuzz.Case.Setcover _ -> s
-    | Fuzz.Case.Mapping _ -> find (s + 1)
+    | Fuzz.Case.Mapping _ | Fuzz.Case.Multihop _ -> find (s + 1)
   in
   find 0
 
